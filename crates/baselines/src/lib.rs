@@ -1,0 +1,32 @@
+//! # gpu-baselines — the comparator data structures from the paper's §VI
+//!
+//! * [`cuckoo`] — CUDPP's cuckoo hashing (Alcantara et al., paper ref. 1): the static
+//!   open-addressing table used in the bulk benchmarks (Figs. 4–6). Bulk
+//!   build with eviction chains + stash + restart; bulk search; incremental
+//!   updates only by rebuilding from scratch.
+//! * [`misra`] — Misra & Chaudhuri's lock-free chaining hash table over
+//!   classic linked-list nodes: the dynamic comparator of the concurrent
+//!   benchmark (Fig. 7b). Key-only, pre-allocated node pool, per-thread
+//!   Harris-style list operations.
+//! * [`robin_hood`] — García et al.'s Robin Hood hashing and
+//! * [`stadium`] — Khorasani et al.'s stadium hashing: the two further
+//!   related-work schemes §II discusses (and dismisses against CUDPP's
+//!   peak); implemented so the `related` experiment can check that verdict
+//!   quantitatively.
+//!
+//! Both bill their memory traffic through the same [`simt`] transaction
+//! accounting as the slab hash, so the roofline model compares like with
+//! like.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cuckoo;
+pub mod misra;
+pub mod robin_hood;
+pub mod stadium;
+
+pub use cuckoo::{CuckooBuildStats, CuckooConfig, CuckooError, CuckooHash};
+pub use misra::{MisraHash, MisraOp, MisraResult};
+pub use robin_hood::RobinHoodHash;
+pub use stadium::StadiumHash;

@@ -1,0 +1,46 @@
+//! Criterion: allocator wall-clock under the WCWS allocation pattern
+//! (the §V comparison, host time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simt::Grid;
+use slab_alloc::{HallocSim, SerialHeapSim, SlabAlloc, SlabAllocConfig, SlabAllocator};
+
+fn drive<A: SlabAllocator>(alloc: &A, n_warps: usize, grid: &Grid) {
+    grid.launch_warps(n_warps, |ctx| {
+        let mut st = alloc.new_warp_state();
+        for _ in 0..32 {
+            std::hint::black_box(alloc.allocate(&mut st, ctx));
+        }
+    });
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let grid = Grid::default();
+    let n_warps = 512; // 16k allocations per iteration
+    let mut group = c.benchmark_group("allocators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_warps as u64 * 32));
+
+    group.bench_function("slab_alloc", |b| {
+        b.iter(|| {
+            let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 16));
+            drive(&alloc, n_warps, &grid)
+        })
+    });
+    group.bench_function("halloc_like", |b| {
+        b.iter(|| {
+            let alloc = HallocSim::new(16, n_warps * 32 + 64, u32::MAX);
+            drive(&alloc, n_warps, &grid)
+        })
+    });
+    group.bench_function("serial_heap", |b| {
+        b.iter(|| {
+            let alloc = SerialHeapSim::new(n_warps * 32 + 64, u32::MAX);
+            drive(&alloc, n_warps, &grid)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: bulk build wall-clock — slab hash (dynamic REPLACE) vs cuckoo
+//! (static) at 60 % utilization (the Fig. 4a/5a workload, host time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_baselines::{CuckooConfig, CuckooHash};
+use simt::Grid;
+use slab_bench::random_pairs;
+use slab_hash::{KeyValue, SlabHash};
+
+fn bench_build(c: &mut Criterion) {
+    let grid = Grid::default();
+    let mut group = c.benchmark_group("bulk_build");
+    group.sample_size(10);
+    for log_n in [14u32, 16] {
+        let n = 1usize << log_n;
+        let pairs = random_pairs(n, 0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("slab_hash", log_n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let t = SlabHash::<KeyValue>::for_expected_elements(pairs.len(), 0.6, 1);
+                t.bulk_build(pairs, &grid)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cuckoo", log_n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut t = CuckooHash::new(
+                    pairs.len(),
+                    CuckooConfig {
+                        load_factor: 0.6,
+                        ..CuckooConfig::default()
+                    },
+                );
+                t.bulk_build(pairs, &grid).expect("build")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

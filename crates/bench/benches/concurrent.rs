@@ -1,0 +1,51 @@
+//! Criterion: mixed concurrent batches (the Fig. 7 workload, host time) —
+//! slab hash (key-only) vs Misra's lock-free chaining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_baselines::{MisraHash, MisraOp};
+use simt::Grid;
+use slab_bench::{concurrent_workload, ConcurrentOp, Gamma};
+use slab_hash::{KeyOnly, Request, SlabHash, SlabHashConfig};
+
+fn bench_concurrent(c: &mut Criterion) {
+    let grid = Grid::default();
+    let initial = 1 << 14;
+    let batch = 1 << 13;
+    let mut group = c.benchmark_group("concurrent_gamma");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch as u64));
+
+    for (name, gamma) in [
+        ("updates_100", Gamma::UPDATES_ONLY),
+        ("updates_40", Gamma::MIXED_40_UPDATES),
+        ("updates_20", Gamma::MIXED_20_UPDATES),
+    ] {
+        let w = concurrent_workload(initial, gamma, batch, 1, 3);
+        group.bench_with_input(BenchmarkId::new("slab_hash", name), &w.batches[0], |b, ops| {
+            let t = SlabHash::<KeyOnly>::new(SlabHashConfig::with_buckets(8192));
+            t.bulk_build_keys(&w.initial_keys, &grid);
+            b.iter(|| {
+                let mut reqs: Vec<Request> = ops.iter().map(|o| o.to_request()).collect();
+                t.execute_batch(&mut reqs, &grid)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("misra", name), &w.batches[0], |b, ops| {
+            let t = MisraHash::new(8192, (initial + batch * 64) as u32);
+            let init: Vec<MisraOp> = w.initial_keys.iter().map(|&k| MisraOp::Insert(k)).collect();
+            t.execute_batch(&init, &grid);
+            let mops: Vec<MisraOp> = ops
+                .iter()
+                .map(|o| match *o {
+                    ConcurrentOp::Insert(k) => MisraOp::Insert(k),
+                    ConcurrentOp::Delete(k) => MisraOp::Delete(k),
+                    ConcurrentOp::SearchHit(k) | ConcurrentOp::SearchMiss(k) => MisraOp::Search(k),
+                })
+                .collect();
+            b.iter(|| t.execute_batch(&mops, &grid))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion: incremental batch insertion vs rebuild-from-scratch
+//! (the Fig. 6 scenario, host time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_baselines::{CuckooConfig, CuckooHash};
+use simt::Grid;
+use slab_bench::random_pairs;
+use slab_hash::{KeyValue, SlabHash};
+
+fn bench_incremental(c: &mut Criterion) {
+    let grid = Grid::default();
+    let total = 1usize << 16;
+    let batch = 1usize << 13;
+    let pairs = random_pairs(total, 0);
+
+    let mut group = c.benchmark_group("incremental_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+
+    group.bench_function("slab_hash_incremental", |b| {
+        b.iter(|| {
+            let t = SlabHash::<KeyValue>::for_expected_elements(total, 0.65, 5);
+            for chunk in pairs.chunks(batch) {
+                t.bulk_build(chunk, &grid);
+            }
+            t
+        })
+    });
+    group.bench_function("cuckoo_rebuild_each_batch", |b| {
+        b.iter(|| {
+            let mut ingested = 0;
+            while ingested < total {
+                ingested = (ingested + batch).min(total);
+                let mut t = CuckooHash::new(
+                    ingested,
+                    CuckooConfig {
+                        load_factor: 0.65,
+                        ..CuckooConfig::default()
+                    },
+                );
+                t.bulk_build(&pairs[..ingested], &grid).expect("build");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

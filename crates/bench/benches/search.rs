@@ -1,0 +1,44 @@
+//! Criterion: bulk search wall-clock — hit and miss query streams against
+//! both structures (the Fig. 4b/5b workload, host time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_baselines::{CuckooConfig, CuckooHash};
+use simt::Grid;
+use slab_bench::{queries_all_exist, queries_none_exist, random_pairs};
+use slab_hash::{KeyValue, SlabHash};
+
+fn bench_search(c: &mut Criterion) {
+    let grid = Grid::default();
+    let n = 1usize << 16;
+    let pairs = random_pairs(n, 0);
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let q_all = queries_all_exist(&keys, n, 9);
+    let q_none = queries_none_exist(n);
+
+    let slab = SlabHash::<KeyValue>::for_expected_elements(n, 0.6, 1);
+    slab.bulk_build(&pairs, &grid);
+    let mut cuckoo = CuckooHash::new(
+        n,
+        CuckooConfig {
+            load_factor: 0.6,
+            ..CuckooConfig::default()
+        },
+    );
+    cuckoo.bulk_build(&pairs, &grid).expect("build");
+
+    let mut group = c.benchmark_group("bulk_search");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, queries) in [("all_exist", &q_all), ("none_exist", &q_none)] {
+        group.bench_with_input(BenchmarkId::new("slab_hash", name), queries, |b, q| {
+            b.iter(|| slab.bulk_search(q, &grid))
+        });
+        group.bench_with_input(BenchmarkId::new("cuckoo", name), queries, |b, q| {
+            b.iter(|| cuckoo.bulk_search(q, &grid))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Result reporting: aligned console tables, CSV export, and the
+//! sim-vs-cpu measurement pair every experiment prints.
+
+use std::io::Write;
+use std::path::Path;
+
+use simt::{GpuModel, LaunchReport};
+
+/// One measured data point: the modeled device throughput (the
+/// paper-comparable number) and the host-side simulation throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Modeled throughput on the paper's GPU, in M ops/s.
+    pub sim_mops: f64,
+    /// Wall-clock throughput of the simulation itself, in M ops/s.
+    pub cpu_mops: f64,
+    /// Which roofline resource bound the modeled kernel.
+    pub bound: &'static str,
+}
+
+impl Measurement {
+    /// Derives a measurement from a launch report under `model`, with the
+    /// kernel's working set (for the L2 term).
+    pub fn from_report(report: &LaunchReport, model: &GpuModel, working_set: u64) -> Self {
+        let est = model.estimate(&report.counters, working_set);
+        Self {
+            sim_mops: est.mops(),
+            cpu_mops: report.cpu_ops_per_sec() / 1e6,
+            bound: est.bound,
+        }
+    }
+}
+
+/// Geometric mean of a non-empty slice (the paper's summary statistic).
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// An accumulating results table that renders aligned console output and
+/// optionally writes CSV.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(out.as_bytes());
+    }
+
+    /// Writes the table as CSV to `path`.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        f.flush()
+    }
+
+    /// Convenience: print, and write CSV when a path is configured.
+    pub fn finish(&self, csv: Option<&Path>) {
+        self.print();
+        if let Some(path) = csv {
+            let file = path.join(format!(
+                "{}.csv",
+                self.title
+                    .to_lowercase()
+                    .replace(|c: char| !c.is_alphanumeric(), "_")
+            ));
+            match self.write_csv(&file) {
+                Ok(()) => println!("  (csv: {})", file.display()),
+                Err(e) => eprintln!("  csv write failed: {e}"),
+            }
+        }
+    }
+}
+
+/// Minimal CLI-argument helper shared by the experiment binaries.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// The subcommand: the first argument, when it is not a flag. (The
+    /// experiment binaries take their subcommand before any flags, e.g.
+    /// `fig4 a --quick`.)
+    pub fn subcommand(&self) -> Option<&str> {
+        self.raw
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .map(|s| s.as_str())
+    }
+
+    /// True when `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == &format!("--{name}"))
+    }
+
+    /// The value following `--name`, parsed.
+    pub fn value<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// CSV output directory from `--csv <dir>` (created if missing).
+    pub fn csv_dir(&self) -> Option<std::path::PathBuf> {
+        let dir: Option<String> = self.value("csv");
+        dir.map(|d| {
+            let p = std::path::PathBuf::from(d);
+            std::fs::create_dir_all(&p).expect("create csv dir");
+            p
+        })
+    }
+
+    /// Grid thread override from `--threads N`.
+    pub fn grid(&self) -> simt::Grid {
+        match self.value::<usize>("threads") {
+            Some(n) => simt::Grid::new(n),
+            None => simt::Grid::default(),
+        }
+    }
+}
+
+/// Formats M ops/s with sensible precision.
+pub fn mops(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_roundtrip_csv() {
+        let mut t = Table::new("Test Table", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        let dir = std::env::temp_dir().join("slabbench_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn mops_formatting() {
+        assert_eq!(mops(512.3), "512");
+        assert_eq!(mops(51.23), "51.2");
+        assert_eq!(mops(5.123), "5.12");
+    }
+}

@@ -1,0 +1,259 @@
+//! FLUSH: tombstone compaction (paper §IV-C4).
+//!
+//! Deleted elements are only marked, never physically removed, so after
+//! enough churn a bucket's slab list can be rebuilt into fewer slabs. The
+//! paper runs FLUSH "as a separate kernel call so that no other thread can
+//! perform an operation in those buckets" — we encode that exclusivity in
+//! the type system by taking `&mut self`.
+
+use simt::{Grid, WarpCtx};
+use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR};
+
+use crate::entry::{EntryLayout, ADDRESS_LANE, EMPTY_KEY};
+use crate::hash_table::SlabHash;
+use crate::stats::collect_live;
+
+/// Outcome of a [`SlabHash::flush`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlushReport {
+    /// Slabs returned to the allocator.
+    pub slabs_released: u64,
+    /// Live elements kept (and compacted).
+    pub elements_kept: u64,
+    /// Buckets processed.
+    pub buckets: u32,
+}
+
+impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
+    /// Compacts every bucket: drops tombstones, packs live elements into the
+    /// minimum number of slabs, and releases the freed slabs for reuse. One
+    /// warp processes each bucket, scheduled over `grid`.
+    ///
+    /// Requires `&mut self`: no concurrent operations may run during a
+    /// flush, exactly as the paper's separate-kernel-call discipline.
+    pub fn flush(&mut self, grid: &Grid) -> FlushReport {
+        let table = &*self;
+        let buckets = table.num_buckets();
+        let report = parking_lot::Mutex::new(FlushReport {
+            buckets,
+            ..FlushReport::default()
+        });
+        grid.launch_warps(buckets as usize, |ctx| {
+            let bucket = ctx.warp_id as u32;
+            let (released, kept) = table.flush_bucket(bucket, ctx);
+            let mut r = report.lock();
+            r.slabs_released += released;
+            r.elements_kept += kept;
+        });
+        report.into_inner()
+    }
+
+    /// Compacts one bucket. Private: callers reach it through
+    /// [`flush`](Self::flush), whose `&mut self` receiver guarantees the
+    /// exclusive phase.
+    fn flush_bucket(&self, bucket: u32, ctx: &mut WarpCtx) -> (u64, u64) {
+        // Pass 1: the warp walks the chain, gathering live elements and the
+        // chained slab pointers.
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        let mut chain: Vec<u32> = Vec::new();
+        let mut ptr = BASE_SLAB;
+        loop {
+            let loc = self.slab_loc(bucket, ptr, ctx);
+            let data = loc.storage.read_slab(loc.slab, &mut ctx.counters);
+            collect_live::<L>(&data, &mut live);
+            let next = data[ADDRESS_LANE];
+            if ptr != BASE_SLAB {
+                chain.push(ptr);
+            }
+            if next == EMPTY_PTR {
+                break;
+            }
+            ptr = next;
+        }
+
+        // Pass 2: rewrite. Slab 0 is the base slab; slabs 1.. reuse the
+        // existing chain in order.
+        let m = L::ELEMS_PER_SLAB as usize;
+        let needed_chained = live.len().saturating_sub(m).div_ceil(m);
+        debug_assert!(needed_chained <= chain.len());
+        for slab_i in 0..=needed_chained {
+            let this_ptr = if slab_i == 0 {
+                BASE_SLAB
+            } else {
+                chain[slab_i - 1]
+            };
+            let loc = self.slab_loc(bucket, this_ptr, ctx);
+            loc.storage.clear_slab(loc.slab, EMPTY_KEY, &mut ctx.counters);
+            let elems = live
+                .iter()
+                .skip(slab_i * m)
+                .take(m);
+            for (e, &(k, v)) in elems.enumerate() {
+                let lane = L::key_lane(e);
+                if L::HAS_VALUES {
+                    loc.storage.store_pair(
+                        loc.slab,
+                        lane / 2,
+                        simt::pack_pair(k, v),
+                        &mut ctx.counters,
+                    );
+                } else {
+                    loc.storage.write_lane(loc.slab, lane, k, &mut ctx.counters);
+                }
+            }
+            let next_ptr = if slab_i < needed_chained {
+                chain[slab_i]
+            } else {
+                EMPTY_PTR
+            };
+            loc.storage
+                .write_lane(loc.slab, ADDRESS_LANE, next_ptr, &mut ctx.counters);
+        }
+
+        // Refresh the base slab's tail hint (§III-C extension): the last
+        // kept chained slab, or empty when the bucket is back to one slab.
+        if needed_chained > 0 {
+            let base = self.slab_loc(bucket, BASE_SLAB, ctx);
+            base.storage.write_lane(
+                base.slab,
+                crate::entry::AUX_LANE,
+                chain[needed_chained - 1],
+                &mut ctx.counters,
+            );
+        }
+
+        // Pass 3: scrub and release the surplus slabs.
+        let released = (chain.len() - needed_chained) as u64;
+        for &freed in &chain[needed_chained..] {
+            let loc = self.slab_loc(bucket, freed, ctx);
+            loc.storage.clear_slab(loc.slab, EMPTY_KEY, &mut ctx.counters);
+            self.allocator().deallocate(freed, ctx);
+        }
+        (released, live.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{KeyOnly, KeyValue};
+    use crate::hash_table::SlabHashConfig;
+    use crate::WarpDriver;
+
+    #[test]
+    fn flush_reclaims_tombstoned_slabs() {
+        let mut t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..90 {
+            w.replace(k, k); // 6 slabs
+        }
+        for k in 0..80 {
+            w.delete(k);
+        }
+        let slabs_before = t.bucket_slab_count(0);
+        assert!(slabs_before >= 6);
+        let report = t.flush(&Grid::new(4));
+        assert_eq!(report.elements_kept, 10);
+        assert!(report.slabs_released >= 4, "released {report:?}");
+        assert_eq!(t.bucket_slab_count(0), 1, "10 live pairs fit the base slab");
+        // The kept elements are intact.
+        let mut w = WarpDriver::new(&t);
+        for k in 80..90 {
+            assert_eq!(w.search(k), Some(k));
+        }
+        for k in 0..80 {
+            assert_eq!(w.search(k), None);
+        }
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn flush_of_clean_table_is_a_noop() {
+        let mut t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(4));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..50 {
+            w.replace(k, k);
+        }
+        let before = t.collect_elements();
+        let slabs_before = t.total_slabs();
+        let report = t.flush(&Grid::new(4));
+        assert_eq!(report.slabs_released, 0);
+        assert_eq!(report.elements_kept, 50);
+        assert_eq!(t.total_slabs(), slabs_before);
+        let mut after = t.collect_elements();
+        let mut before = before;
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn flush_empty_table() {
+        let mut t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(8));
+        let report = t.flush(&Grid::sequential());
+        assert_eq!(report.elements_kept, 0);
+        assert_eq!(report.slabs_released, 0);
+        assert_eq!(report.buckets, 8);
+    }
+
+    #[test]
+    fn flush_fully_deleted_bucket_releases_whole_chain() {
+        let mut t = SlabHash::<KeyOnly>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..120 {
+            w.replace(k, 0); // 4 slabs of 30
+        }
+        for k in 0..120 {
+            w.delete(k);
+        }
+        let report = t.flush(&Grid::sequential());
+        assert_eq!(report.elements_kept, 0);
+        assert_eq!(report.slabs_released, 3);
+        assert_eq!(t.allocator().allocated_slabs(), 0);
+        assert!(t.is_empty());
+        // The bucket is fully usable afterwards.
+        let mut w = WarpDriver::new(&t);
+        w.replace(1, 0);
+        assert!(w.contains(1));
+    }
+
+    #[test]
+    fn released_slabs_are_reusable_and_clean() {
+        let mut t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..60 {
+            w.insert(k, k);
+        }
+        for k in 0..60 {
+            w.delete(k);
+        }
+        t.flush(&Grid::sequential());
+        // Refill: recycled slabs must behave like fresh ones.
+        let mut w = WarpDriver::new(&t);
+        for k in 0..60 {
+            w.replace(k, k + 1);
+        }
+        assert_eq!(t.len(), 60);
+        for k in 0..60 {
+            assert_eq!(w.search(k), Some(k + 1));
+        }
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn flush_compacts_across_many_buckets() {
+        let mut t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(16));
+        let grid = Grid::new(4);
+        let pairs: Vec<(u32, u32)> = (0..3000).map(|k| (k, k)).collect();
+        t.bulk_build(&pairs, &grid);
+        let evens: Vec<u32> = (0..3000).step_by(2).collect();
+        t.bulk_delete(&evens, &grid);
+        let util_before = t.memory_utilization();
+        let report = t.flush(&grid);
+        assert_eq!(report.elements_kept, 1500);
+        assert!(report.slabs_released > 0);
+        assert!(t.memory_utilization() > util_before);
+        assert_eq!(t.len(), 1500);
+        t.audit().unwrap();
+    }
+}

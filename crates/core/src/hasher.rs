@@ -1,0 +1,125 @@
+//! The universal hash family distributing keys over buckets (paper §III-C):
+//! `h(k; a, b) = ((a·k + b) mod p) mod B` with p prime and a, b random.
+
+/// Largest 32-bit prime, the fixed modulus p. (The paper draws a random
+/// prime; fixing it to the largest 32-bit prime is the standard
+/// Carter–Wegman instantiation and changes nothing measurable — documented
+/// in DESIGN.md §7.)
+pub const P: u64 = 4_294_967_291;
+
+/// One member of the universal family, bound to a bucket count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+    num_buckets: u32,
+}
+
+/// splitmix64 step, used to derive (a, b) pairs from a caller seed.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl UniversalHash {
+    /// Draws a hash function from the family using `seed`.
+    ///
+    /// `a` is drawn from [1, p) and `b` from [0, p), per the Carter–Wegman
+    /// requirements.
+    pub fn new(seed: u64, num_buckets: u32) -> Self {
+        assert!(num_buckets >= 1, "need at least one bucket");
+        let mut s = seed;
+        let a = 1 + splitmix64(&mut s) % (P - 1);
+        let b = splitmix64(&mut s) % P;
+        Self { a, b, num_buckets }
+    }
+
+    /// An explicitly parameterized member (tests, cross-checking).
+    pub fn with_params(a: u64, b: u64, num_buckets: u32) -> Self {
+        assert!((1..P).contains(&a) && b < P && num_buckets >= 1);
+        Self { a, b, num_buckets }
+    }
+
+    /// The bucket for `key`: `((a·k + b) mod p) mod B`.
+    #[inline]
+    pub fn bucket(&self, key: u32) -> u32 {
+        (((self.a * key as u64 + self.b) % P) % self.num_buckets as u64) as u32
+    }
+
+    /// Bucket count B.
+    #[inline]
+    pub fn num_buckets(&self) -> u32 {
+        self.num_buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_in_range() {
+        let h = UniversalHash::new(42, 97);
+        for k in (0..100_000u32).step_by(7) {
+            assert!(h.bucket(k) < 97);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let h1 = UniversalHash::new(7, 1000);
+        let h2 = UniversalHash::new(7, 1000);
+        for k in 0..1000 {
+            assert_eq!(h1.bucket(k), h2.bucket(k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = UniversalHash::new(1, 1 << 20);
+        let h2 = UniversalHash::new(2, 1 << 20);
+        let agreements = (0..10_000u32)
+            .filter(|&k| h1.bucket(k) == h2.bucket(k))
+            .count();
+        // Two independent functions into 2^20 buckets agree ~never.
+        assert!(agreements < 10, "{agreements} agreements looks non-random");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let b = 256u32;
+        let h = UniversalHash::new(123, b);
+        let n = 1 << 16;
+        let mut counts = vec![0u32; b as usize];
+        for k in 0..n {
+            counts[h.bucket(k) as usize] += 1;
+        }
+        let expected = n as f64 / b as f64; // 256 per bucket
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(
+            max < expected * 1.35 && min > expected * 0.65,
+            "bucket occupancy spread [{min}, {max}] too wide around {expected}"
+        );
+    }
+
+    #[test]
+    fn single_bucket_degenerates_gracefully() {
+        let h = UniversalHash::new(9, 1);
+        assert_eq!(h.bucket(123), 0);
+        assert_eq!(h.bucket(u32::MAX - 3), 0);
+    }
+
+    #[test]
+    fn with_params_matches_manual_formula() {
+        let h = UniversalHash::with_params(3, 11, 17);
+        for k in [0u32, 1, 12345, 4_000_000_000] {
+            let expected = ((3 * k as u64 + 11) % P % 17) as u32;
+            assert_eq!(h.bucket(k), expected);
+        }
+    }
+}

@@ -1,0 +1,1326 @@
+//! Warp-cooperative slab list operations — the port of the paper's Fig. 2
+//! pseudocode (§IV-C).
+//!
+//! Every operation follows the warp-cooperative work sharing (WCWS) strategy
+//! of §IV-A: each lane may carry one independent request, the warp forms a
+//! work queue with a ballot, and all 32 lanes cooperate on the queued
+//! requests one at a time (priority = lowest lane, `__ffs`). For each round
+//! the warp reads one whole slab coalesced, ballots for the source lane's
+//! key (or an empty slot), and the source lane alone performs the CAS.
+//!
+//! The loop structure — `work_queue = ballot(is_active)`, reset `next` to
+//! `BASE_SLAB` whenever the queue changes, re-read the slab at `next` every
+//! round — is kept identical to the paper so failure/retry paths (CAS lost,
+//! slab full, allocate-then-link races) fall out exactly as published.
+
+use simt::memory::{pack_pair, unpack_pair};
+use simt::warp::{ballot, ballot_eq, ffs, WARP_SIZE};
+use simt::WarpCtx;
+use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR};
+
+use crate::entry::{validate_key, EntryLayout, ADDRESS_LANE, DELETED_KEY, EMPTY_KEY};
+use crate::hash_table::SlabHash;
+
+/// The operation a lane requests (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpKind {
+    /// No operation: the lane is idle padding.
+    #[default]
+    None,
+    /// INSERT(k, v): add, allowing duplicate keys. Reuses deleted slots.
+    Insert,
+    /// INSERT(k, v) via the base slab's tail hint — the §III-C extension
+    /// ("base slabs and regular slabs can differ in their structures in
+    /// order to allow additional implementation features (e.g., pointers to
+    /// the tail)"). Jumps from the base slab straight to the most recently
+    /// linked slab instead of walking the chain; trades tombstone reuse for
+    /// O(1) appends on long chains. Duplicates allowed, like INSERT.
+    InsertTail,
+    /// REPLACE(k, v): add maintaining key uniqueness — replaces the value if
+    /// the key is already present. (The paper's evaluation uses REPLACE for
+    /// all insertions.) This is the optimized Fig. 2 variant: the first
+    /// empty-or-matching slot wins.
+    Replace,
+    /// REPLACE(k, v), strict §III-B2 variant: "search the entire list to see
+    /// if there exists a previously inserted key k. If so, use atomic CAS to
+    /// replace it. If not, perform INSERT starting from the tail." Costs a
+    /// full-list traversal; behaviourally equivalent under the crate's
+    /// invariants (empty slots only at the tail) but kept for fidelity and
+    /// for the comparison tests.
+    ReplaceStrict,
+    /// TRYINSERT(k, v): insert only if the key is absent; never overwrites.
+    /// Returns `Found(existing)` when the key is already present. (An
+    /// API-level extension composed from the same pair-CAS primitive; the
+    /// building block of lock-free read-modify-write.)
+    TryInsert,
+    /// COMPAREEXCHANGE(k, expected, new): atomically replace the key's value
+    /// only if it currently equals `expected` — the 64-bit pair CAS of §IV-C
+    /// exposed directly. Key–value layout only.
+    CompareExchange,
+    /// DELETE(k): tombstone the least recently inserted instance of k.
+    Delete,
+    /// DELETEALL(k): tombstone every instance of k.
+    DeleteAll,
+    /// SEARCH(k): return the least recent value for k, or not-found.
+    Search,
+    /// SEARCHALL(k): return every value stored for k.
+    SearchAll,
+}
+
+/// The outcome of a request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum OpResult {
+    /// Not yet executed.
+    #[default]
+    Pending,
+    /// A new element was inserted.
+    Inserted,
+    /// REPLACE found the key already present and swapped the value; carries
+    /// the previous value (key-only layout: the key itself).
+    Replaced(u32),
+    /// SEARCH hit; carries the value (key-only layout: the key itself).
+    Found(u32),
+    /// SEARCH / DELETE miss: the key is not in the table.
+    NotFound,
+    /// DELETE removed an element; carries the removed value.
+    Deleted(u32),
+    /// DELETEALL finished; carries how many instances were removed (possibly
+    /// zero).
+    DeletedCount(u32),
+    /// SEARCHALL hit; carries every matching value in traversal order.
+    FoundAll(Vec<u32>),
+}
+
+impl OpResult {
+    /// True for outcomes that found / created / removed something.
+    pub fn is_success(&self) -> bool {
+        !matches!(self, OpResult::Pending | OpResult::NotFound)
+    }
+
+    /// The found value for `Found`, else `None`.
+    pub fn value(&self) -> Option<u32> {
+        match self {
+            OpResult::Found(v) | OpResult::Replaced(v) | OpResult::Deleted(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One lane's request: an operation, its key, and (for insertions in the
+/// key–value layout) a value. Results are written back in place.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Which operation to perform.
+    pub op: OpKind,
+    /// The key operated on.
+    pub key: u32,
+    /// The value carried by insertions (ignored otherwise and by the
+    /// key-only layout).
+    pub value: u32,
+    /// The comparand for [`OpKind::CompareExchange`] (ignored otherwise).
+    pub expected: u32,
+    /// Outcome, written by the warp that executes the request.
+    pub result: OpResult,
+}
+
+impl Request {
+    /// INSERT(k, v).
+    pub fn insert(key: u32, value: u32) -> Self {
+        Self {
+            op: OpKind::Insert,
+            key,
+            value,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// INSERT(k, v) through the base slab's tail hint (§III-C extension).
+    pub fn insert_tail(key: u32, value: u32) -> Self {
+        Self {
+            op: OpKind::InsertTail,
+            key,
+            value,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// REPLACE(k, v).
+    pub fn replace(key: u32, value: u32) -> Self {
+        Self {
+            op: OpKind::Replace,
+            key,
+            value,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// REPLACE(k, v), strict full-scan variant (§III-B2).
+    pub fn replace_strict(key: u32, value: u32) -> Self {
+        Self {
+            op: OpKind::ReplaceStrict,
+            key,
+            value,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// TRYINSERT(k, v): insert only if absent.
+    pub fn try_insert(key: u32, value: u32) -> Self {
+        Self {
+            op: OpKind::TryInsert,
+            key,
+            value,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// COMPAREEXCHANGE(k, expected, new): value CAS (key–value layout only).
+    pub fn compare_exchange(key: u32, expected: u32, new: u32) -> Self {
+        Self {
+            op: OpKind::CompareExchange,
+            key,
+            value: new,
+            expected,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// SEARCH(k).
+    pub fn search(key: u32) -> Self {
+        Self {
+            op: OpKind::Search,
+            key,
+            value: 0,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// SEARCHALL(k).
+    pub fn search_all(key: u32) -> Self {
+        Self {
+            op: OpKind::SearchAll,
+            key,
+            value: 0,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// DELETE(k).
+    pub fn delete(key: u32) -> Self {
+        Self {
+            op: OpKind::Delete,
+            key,
+            value: 0,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// DELETEALL(k).
+    pub fn delete_all(key: u32) -> Self {
+        Self {
+            op: OpKind::DeleteAll,
+            key,
+            value: 0,
+            expected: 0,
+            result: OpResult::Pending,
+        }
+    }
+}
+
+impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
+    /// Executes up to one warp's worth of requests (≤ 32) cooperatively —
+    /// the paper's `warp_operation()`. Idle lanes (`OpKind::None`) simply
+    /// participate in the cooperation, as on real hardware.
+    ///
+    /// `alloc_state` is the executing warp's allocator state (its resident
+    /// block); results land in each request's `result` field.
+    pub fn process_warp(
+        &self,
+        ctx: &mut WarpCtx,
+        alloc_state: &mut A::WarpState,
+        reqs: &mut [Request],
+    ) {
+        assert!(
+            reqs.len() <= WARP_SIZE,
+            "a warp executes at most 32 requests (got {})",
+            reqs.len()
+        );
+        let mut kinds = [OpKind::None; WARP_SIZE];
+        let mut keys = [EMPTY_KEY; WARP_SIZE];
+        let mut values = [0u32; WARP_SIZE];
+        let mut expecteds = [0u32; WARP_SIZE];
+        let mut active = [false; WARP_SIZE];
+        for (lane, req) in reqs.iter_mut().enumerate() {
+            if req.op != OpKind::None {
+                validate_key(req.key);
+                kinds[lane] = req.op;
+                keys[lane] = req.key;
+                values[lane] = req.value;
+                expecteds[lane] = req.expected;
+                active[lane] = true;
+                req.result = OpResult::Pending;
+            }
+        }
+        // Scratch for the multi-result operations.
+        let mut found_all: [Vec<u32>; WARP_SIZE] = std::array::from_fn(|_| Vec::new());
+        let mut deleted_count = [0u32; WARP_SIZE];
+        // ReplaceStrict phase flags: false = scanning the whole list for the
+        // key, true = inserting from the tail.
+        let mut strict_inserting = [false; WARP_SIZE];
+
+        let mut next = BASE_SLAB;
+        let mut last_work_queue = 0u32;
+        loop {
+            let work_queue = ballot(&active, |&a| a);
+            if work_queue == 0 {
+                break;
+            }
+            ctx.counters.warp_rounds += 1;
+            // "next ← (if work_queue is changed) ? (BASE_SLAB) : next"
+            if work_queue != last_work_queue {
+                next = BASE_SLAB;
+            }
+            last_work_queue = work_queue;
+
+            // next_prior(): lowest active lane; shuffle its key; hash it.
+            let src_lane = ffs(work_queue).expect("non-empty work queue");
+            let src_key = keys[src_lane];
+            let src_bucket = self.hash_fn().bucket(src_key);
+            let read_data = self.read_slab(src_bucket, next, ctx);
+
+            let finish = |reqs: &mut [Request],
+                              active: &mut [bool; WARP_SIZE],
+                              ctx: &mut WarpCtx,
+                              result: OpResult| {
+                reqs[src_lane].result = result;
+                active[src_lane] = false;
+                ctx.counters.ops += 1;
+            };
+
+            match kinds[src_lane] {
+                OpKind::Search => {
+                    let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
+                    if let Some(lane) = ffs(found) {
+                        let value = read_data[L::value_lane(lane)];
+                        finish(reqs, &mut active, ctx, OpResult::Found(value));
+                    } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                        finish(reqs, &mut active, ctx, OpResult::NotFound);
+                    } else {
+                        next = read_data[ADDRESS_LANE];
+                    }
+                }
+
+                OpKind::SearchAll => {
+                    let mut found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
+                    while let Some(lane) = ffs(found) {
+                        found_all[src_lane].push(read_data[L::value_lane(lane)]);
+                        found &= !(1 << lane);
+                    }
+                    if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                        let values = std::mem::take(&mut found_all[src_lane]);
+                        let result = if values.is_empty() {
+                            OpResult::NotFound
+                        } else {
+                            OpResult::FoundAll(values)
+                        };
+                        finish(reqs, &mut active, ctx, result);
+                    } else {
+                        next = read_data[ADDRESS_LANE];
+                    }
+                }
+
+                OpKind::Replace => {
+                    // "dest_lane ← ffs(ballot(read_data == EMPTY ||
+                    //                         read_data == myKey))"
+                    let candidates = (ballot_eq(&read_data, EMPTY_KEY)
+                        | ballot_eq(&read_data, src_key))
+                        & L::KEY_LANES;
+                    if let Some(dest) = ffs(candidates) {
+                        if let Some(result) = self.try_claim_slot(
+                            ctx,
+                            src_bucket,
+                            next,
+                            dest,
+                            &read_data,
+                            src_key,
+                            values[src_lane],
+                            /* reuse_deleted = */ false,
+                        ) {
+                            finish(reqs, &mut active, ctx, result);
+                        }
+                        // CAS lost: retry — re-read the same slab next round.
+                    } else {
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    }
+                }
+
+                OpKind::ReplaceStrict => {
+                    if !strict_inserting[src_lane] {
+                        // Phase 1: scan the entire list for the key.
+                        let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
+                        if let Some(dest) = ffs(found) {
+                            if let Some(result) = self.try_claim_slot(
+                                ctx,
+                                src_bucket,
+                                next,
+                                dest,
+                                &read_data,
+                                src_key,
+                                values[src_lane],
+                                /* reuse_deleted = */ false,
+                            ) {
+                                finish(reqs, &mut active, ctx, result);
+                            }
+                            // CAS lost: re-read this slab and retry the scan.
+                        } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                            // Key nowhere in the list: switch to inserting
+                            // "starting from the tail" — we are at the tail.
+                            strict_inserting[src_lane] = true;
+                        } else {
+                            next = read_data[ADDRESS_LANE];
+                        }
+                    } else {
+                        // Phase 2: INSERT from the tail into an empty slot.
+                        let candidates = ballot_eq(&read_data, EMPTY_KEY) & L::KEY_LANES;
+                        if let Some(dest) = ffs(candidates) {
+                            if let Some(result) = self.try_claim_slot(
+                                ctx,
+                                src_bucket,
+                                next,
+                                dest,
+                                &read_data,
+                                src_key,
+                                values[src_lane],
+                                /* reuse_deleted = */ false,
+                            ) {
+                                finish(reqs, &mut active, ctx, result);
+                            }
+                        } else {
+                            self.follow_or_allocate(
+                                ctx,
+                                alloc_state,
+                                src_bucket,
+                                &mut next,
+                                &read_data,
+                            );
+                        }
+                    }
+                }
+
+                OpKind::Insert => {
+                    // Duplicates allowed: any empty *or tombstoned* slot will
+                    // do ("later insertions can potentially find these empty
+                    // spots down the list and insert new items in them").
+                    let candidates = (ballot_eq(&read_data, EMPTY_KEY)
+                        | ballot_eq(&read_data, DELETED_KEY))
+                        & L::KEY_LANES;
+                    if let Some(dest) = ffs(candidates) {
+                        if let Some(result) = self.try_claim_slot(
+                            ctx,
+                            src_bucket,
+                            next,
+                            dest,
+                            &read_data,
+                            src_key,
+                            values[src_lane],
+                            /* reuse_deleted = */ true,
+                        ) {
+                            finish(reqs, &mut active, ctx, result);
+                        }
+                    } else {
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    }
+                }
+
+                OpKind::InsertTail => {
+                    // §III-C extension: like INSERT, but from the base slab
+                    // jump straight to the tail hint stored in its aux lane
+                    // (skipping full middle slabs and any reusable
+                    // tombstones there).
+                    let candidates = (ballot_eq(&read_data, EMPTY_KEY)
+                        | ballot_eq(&read_data, DELETED_KEY))
+                        & L::KEY_LANES;
+                    if let Some(dest) = ffs(candidates) {
+                        if let Some(result) = self.try_claim_slot(
+                            ctx,
+                            src_bucket,
+                            next,
+                            dest,
+                            &read_data,
+                            src_key,
+                            values[src_lane],
+                            /* reuse_deleted = */ true,
+                        ) {
+                            finish(reqs, &mut active, ctx, result);
+                        }
+                    } else if next == BASE_SLAB
+                        && slab_alloc::is_allocated_ptr(read_data[crate::entry::AUX_LANE])
+                    {
+                        // Shuffle the tail hint from the aux lane and jump.
+                        next = read_data[crate::entry::AUX_LANE];
+                    } else {
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    }
+                }
+
+                OpKind::TryInsert => {
+                    let candidates = (ballot_eq(&read_data, EMPTY_KEY)
+                        | ballot_eq(&read_data, src_key))
+                        & L::KEY_LANES;
+                    if let Some(dest) = ffs(candidates) {
+                        if read_data[dest] == src_key {
+                            // Already present: report, never overwrite.
+                            let existing = read_data[L::value_lane(dest)];
+                            finish(reqs, &mut active, ctx, OpResult::Found(existing));
+                        } else if let Some(result) = self.try_claim_slot(
+                            ctx,
+                            src_bucket,
+                            next,
+                            dest,
+                            &read_data,
+                            src_key,
+                            values[src_lane],
+                            /* reuse_deleted = */ false,
+                        ) {
+                            // A concurrent same-key insert racing into the
+                            // same slot surfaces as Replaced (key-only
+                            // layout); for TryInsert that means "already
+                            // present".
+                            let mapped = match result {
+                                OpResult::Replaced(v) => OpResult::Found(v),
+                                other => other,
+                            };
+                            finish(reqs, &mut active, ctx, mapped);
+                        }
+                        // CAS lost: re-read and retry.
+                    } else {
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    }
+                }
+
+                OpKind::CompareExchange => {
+                    assert!(
+                        L::HAS_VALUES,
+                        "CompareExchange requires the key-value layout"
+                    );
+                    let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
+                    if let Some(dest) = ffs(found) {
+                        let observed = read_data[L::value_lane(dest)];
+                        if observed != expecteds[src_lane] {
+                            // Comparand mismatch: fail with the actual value.
+                            finish(reqs, &mut active, ctx, OpResult::Found(observed));
+                        } else {
+                            let loc = self.slab_loc(src_bucket, next, ctx);
+                            let expected_pair = pack_pair(src_key, observed);
+                            let desired = pack_pair(src_key, values[src_lane]);
+                            let old = loc.storage.cas_pair(
+                                loc.slab,
+                                dest / 2,
+                                expected_pair,
+                                desired,
+                                &mut ctx.counters,
+                            );
+                            if old == expected_pair {
+                                finish(reqs, &mut active, ctx, OpResult::Replaced(observed));
+                            } else {
+                                // Raced: re-read and re-evaluate the comparand.
+                                ctx.counters.cas_failures += 1;
+                            }
+                        }
+                    } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                        finish(reqs, &mut active, ctx, OpResult::NotFound);
+                    } else {
+                        next = read_data[ADDRESS_LANE];
+                    }
+                }
+
+                OpKind::Delete | OpKind::DeleteAll => {
+                    let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
+                    if let Some(dest) = ffs(found) {
+                        if let Some(old_value) =
+                            self.try_tombstone(ctx, src_bucket, next, dest, &read_data, src_key)
+                        {
+                            if kinds[src_lane] == OpKind::Delete {
+                                finish(reqs, &mut active, ctx, OpResult::Deleted(old_value));
+                            } else {
+                                deleted_count[src_lane] += 1;
+                                // Re-read this slab: more matches may remain.
+                            }
+                        }
+                        // CAS lost: re-read and retry.
+                    } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                        // End of list: "the operation terminates successfully".
+                        let result = if kinds[src_lane] == OpKind::Delete {
+                            OpResult::NotFound
+                        } else {
+                            OpResult::DeletedCount(deleted_count[src_lane])
+                        };
+                        finish(reqs, &mut active, ctx, result);
+                    } else {
+                        next = read_data[ADDRESS_LANE];
+                    }
+                }
+
+                OpKind::None => unreachable!("idle lanes never enter the work queue"),
+            }
+        }
+    }
+
+    /// The source lane's insertion CAS into `dest` of the slab at
+    /// (bucket, ptr). Returns the finished result, or `None` when the CAS
+    /// lost and the operation must retry.
+    ///
+    /// The key–value layout uses the paper's single 64-bit `atomicCAS` of
+    /// the whole pair; key-only uses a 32-bit CAS of the key lane.
+    #[allow(clippy::too_many_arguments)]
+    fn try_claim_slot(
+        &self,
+        ctx: &mut WarpCtx,
+        bucket: u32,
+        ptr: u32,
+        dest: usize,
+        read_data: &[u32; WARP_SIZE],
+        key: u32,
+        value: u32,
+        reuse_deleted: bool,
+    ) -> Option<OpResult> {
+        let observed_key = read_data[dest];
+        debug_assert!(
+            observed_key == EMPTY_KEY
+                || observed_key == key
+                || (reuse_deleted && observed_key == DELETED_KEY)
+        );
+        let loc = self.slab_loc(bucket, ptr, ctx);
+        if L::HAS_VALUES {
+            let observed_value = read_data[L::value_lane(dest)];
+            let expected = pack_pair(observed_key, observed_value);
+            let desired = pack_pair(key, value);
+            let old = loc
+                .storage
+                .cas_pair(loc.slab, dest / 2, expected, desired, &mut ctx.counters);
+            if old == expected {
+                Some(if observed_key == key {
+                    OpResult::Replaced(observed_value)
+                } else {
+                    OpResult::Inserted
+                })
+            } else {
+                ctx.counters.cas_failures += 1;
+                None
+            }
+        } else if observed_key == key {
+            // Key-only set semantics: the key is already present.
+            Some(OpResult::Replaced(key))
+        } else {
+            let old = loc
+                .storage
+                .cas_lane(loc.slab, dest, observed_key, key, &mut ctx.counters);
+            if old == observed_key {
+                Some(OpResult::Inserted)
+            } else if old == key {
+                // Another warp inserted the same key into this very slot.
+                Some(OpResult::Replaced(key))
+            } else {
+                ctx.counters.cas_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Tombstones `dest` (whose key lane was observed holding `key`),
+    /// returning the removed value on success or `None` when a concurrent
+    /// update won the slot.
+    ///
+    /// Deviation (documented in DESIGN.md §7): the paper's DELETE uses a
+    /// plain store of `DELETED_KEY` (Fig. 2 line 59); we CAS against the
+    /// observed contents so a tombstone can never clobber a slot that a
+    /// concurrent INSERT has already reused for a different key. Transaction
+    /// cost is identical (one 32 B RMW).
+    fn try_tombstone(
+        &self,
+        ctx: &mut WarpCtx,
+        bucket: u32,
+        ptr: u32,
+        dest: usize,
+        read_data: &[u32; WARP_SIZE],
+        key: u32,
+    ) -> Option<u32> {
+        let loc = self.slab_loc(bucket, ptr, ctx);
+        if L::HAS_VALUES {
+            let observed_value = read_data[L::value_lane(dest)];
+            let expected = pack_pair(key, observed_value);
+            let desired = pack_pair(DELETED_KEY, observed_value);
+            let old = loc
+                .storage
+                .cas_pair(loc.slab, dest / 2, expected, desired, &mut ctx.counters);
+            if old == expected {
+                Some(unpack_pair(old).1)
+            } else {
+                ctx.counters.cas_failures += 1;
+                None
+            }
+        } else {
+            let old = loc
+                .storage
+                .cas_lane(loc.slab, dest, key, DELETED_KEY, &mut ctx.counters);
+            if old == key {
+                Some(key)
+            } else {
+                ctx.counters.cas_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Advances `next` down the list, allocating and linking a fresh slab at
+    /// the tail if needed (Fig. 2 lines 41–52). On a lost link CAS the
+    /// freshly allocated slab is returned to the allocator and traversal
+    /// continues into the winner's slab.
+    fn follow_or_allocate(
+        &self,
+        ctx: &mut WarpCtx,
+        alloc_state: &mut A::WarpState,
+        bucket: u32,
+        next: &mut u32,
+        read_data: &[u32; WARP_SIZE],
+    ) {
+        let next_ptr = read_data[ADDRESS_LANE];
+        if next_ptr != EMPTY_PTR {
+            *next = next_ptr;
+            return;
+        }
+        let new_slab = self.allocator().allocate(alloc_state, ctx);
+        let loc = self.slab_loc(bucket, *next, ctx);
+        let old = loc.storage.cas_lane(
+            loc.slab,
+            ADDRESS_LANE,
+            EMPTY_PTR,
+            new_slab,
+            &mut ctx.counters,
+        );
+        if old == EMPTY_PTR {
+            // Publish the new tail into the base slab's aux lane — the
+            // §III-C base-slab extension consumed by InsertTail. A plain
+            // best-effort store: stale hints still point into the live chain
+            // (slabs are only reclaimed in the exclusive FLUSH phase, which
+            // rewrites the hint).
+            let base = self.slab_loc(bucket, BASE_SLAB, ctx);
+            base.storage.write_lane(
+                base.slab,
+                crate::entry::AUX_LANE,
+                new_slab,
+                &mut ctx.counters,
+            );
+            *next = new_slab;
+        } else {
+            // "some other warp has successfully allocated and inserted the
+            // new slab and hence, this warp's allocated slab should be
+            // deallocated".
+            ctx.counters.cas_failures += 1;
+            self.allocator().deallocate(new_slab, ctx);
+            *next = old;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{KeyOnly, KeyValue};
+    use crate::hash_table::SlabHashConfig;
+    use crate::WarpDriver;
+
+    fn kv_table(buckets: u32) -> SlabHash<KeyValue> {
+        SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(buckets))
+    }
+
+    fn ko_table(buckets: u32) -> SlabHash<KeyOnly> {
+        SlabHash::<KeyOnly>::new(SlabHashConfig::with_buckets(buckets))
+    }
+
+    #[test]
+    fn replace_insert_search_roundtrip_kv() {
+        let t = kv_table(8);
+        let mut w = WarpDriver::new(&t);
+        for k in 0..100u32 {
+            assert_eq!(w.replace(k, k + 1000), None);
+        }
+        for k in 0..100u32 {
+            assert_eq!(w.search(k), Some(k + 1000), "key {k}");
+        }
+        assert_eq!(w.search(100), None);
+    }
+
+    #[test]
+    fn replace_updates_value_in_place() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        w.replace(7, 70);
+        assert_eq!(w.replace(7, 71), Some(70));
+        assert_eq!(w.replace(7, 72), Some(71));
+        assert_eq!(w.search(7), Some(72));
+        // Uniqueness: exactly one live instance of key 7.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_then_search_misses() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        w.replace(1, 10);
+        w.replace(2, 20);
+        assert_eq!(w.delete(1), Some(10));
+        assert_eq!(w.search(1), None);
+        assert_eq!(w.search(2), Some(20));
+        assert_eq!(w.delete(1), None, "double delete misses");
+    }
+
+    #[test]
+    fn replace_does_not_reuse_tombstones() {
+        // Uniqueness-preserving insertion must not write into DELETED slots
+        // (the key could exist further down the list).
+        let t = kv_table(1);
+        let mut w = WarpDriver::new(&t);
+        w.replace(1, 10);
+        w.replace(2, 20);
+        w.delete(1);
+        w.replace(3, 30);
+        // Key 3 must land in a fresh slot, not over key 1's tombstone.
+        let audit = t.audit().unwrap();
+        assert_eq!(audit.tombstones, 1);
+        assert_eq!(audit.live_elements, 2);
+    }
+
+    #[test]
+    fn insert_allows_duplicates_and_reuses_tombstones() {
+        let t = kv_table(1);
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.insert(5, 50), OpResult::Inserted);
+        assert_eq!(w.insert(5, 51), OpResult::Inserted);
+        assert_eq!(w.insert(5, 52), OpResult::Inserted);
+        let mut all = w.search_all(5);
+        all.sort_unstable();
+        assert_eq!(all, vec![50, 51, 52]);
+        // DELETE removes the least recently inserted first.
+        assert_eq!(w.delete(5), Some(50));
+        // INSERT may reuse the tombstone: no new slab needed, and the table
+        // holds the remaining two plus the new one.
+        w.insert(6, 60);
+        let audit = t.audit().unwrap();
+        assert_eq!(audit.tombstones, 0, "tombstone reused by INSERT");
+        assert_eq!(audit.live_elements, 3);
+    }
+
+    #[test]
+    fn delete_all_removes_every_instance() {
+        let t = kv_table(2);
+        let mut w = WarpDriver::new(&t);
+        for v in 0..40 {
+            w.insert(9, v);
+        }
+        w.insert(8, 1);
+        assert_eq!(w.delete_all(9), 40);
+        assert_eq!(w.search(9), None);
+        assert_eq!(w.search(8), Some(1));
+        assert_eq!(w.delete_all(9), 0, "idempotent on absent key");
+    }
+
+    #[test]
+    fn search_all_spans_multiple_slabs() {
+        let t = kv_table(1);
+        let mut w = WarpDriver::new(&t);
+        // 40 duplicates > 15 per slab: at least 3 slabs.
+        for v in 0..40 {
+            w.insert(3, v);
+        }
+        let found = w.search_all(3);
+        assert_eq!(found.len(), 40);
+        assert!(t.bucket_slab_count(0) >= 3);
+        assert_eq!(w.search_all(4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn chain_growth_links_new_slabs() {
+        let t = kv_table(1);
+        let mut w = WarpDriver::new(&t);
+        // One bucket, 100 unique keys: ceil(100/15) = 7 slabs.
+        for k in 0..100 {
+            w.replace(k, k);
+        }
+        assert_eq!(t.bucket_slab_count(0), 7);
+        assert_eq!(t.allocator().allocated_slabs(), 6);
+        for k in 0..100 {
+            assert_eq!(w.search(k), Some(k));
+        }
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn key_only_set_semantics() {
+        let t = ko_table(4);
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.run(Request::replace(11, 0)), OpResult::Inserted);
+        assert_eq!(w.run(Request::replace(11, 0)), OpResult::Replaced(11));
+        assert_eq!(w.search(11), Some(11));
+        assert_eq!(t.len(), 1);
+        assert_eq!(w.delete(11), Some(11));
+        assert!(!w.contains(11));
+    }
+
+    #[test]
+    fn key_only_packs_30_keys_per_slab() {
+        let t = ko_table(1);
+        let mut w = WarpDriver::new(&t);
+        for k in 0..30 {
+            w.replace(k, 0);
+        }
+        assert_eq!(t.bucket_slab_count(0), 1, "30 keys fit the base slab");
+        w.replace(30, 0);
+        assert_eq!(t.bucket_slab_count(0), 2, "31st key forces a chained slab");
+    }
+
+    #[test]
+    fn key_value_packs_15_pairs_per_slab() {
+        let t = kv_table(1);
+        let mut w = WarpDriver::new(&t);
+        for k in 0..15 {
+            w.replace(k, k);
+        }
+        assert_eq!(t.bucket_slab_count(0), 1);
+        w.replace(15, 15);
+        assert_eq!(t.bucket_slab_count(0), 2);
+    }
+
+    #[test]
+    fn full_warp_of_mixed_operations() {
+        let t = kv_table(16);
+        let mut w = WarpDriver::new(&t);
+        for k in 0..10 {
+            w.replace(k, k * 10);
+        }
+        let mut batch: Vec<Request> = Vec::new();
+        for k in 0..8 {
+            batch.push(Request::search(k)); // hits
+        }
+        for k in 100..108 {
+            batch.push(Request::search(k)); // misses
+        }
+        for k in 20..28 {
+            batch.push(Request::replace(k, 1)); // new inserts
+        }
+        for k in 8..10 {
+            batch.push(Request::delete(k));
+        }
+        for k in 200..206 {
+            batch.push(Request::delete(k)); // delete misses
+        }
+        assert_eq!(batch.len(), 32);
+        w.execute(&mut batch);
+        for (i, r) in batch.iter().enumerate() {
+            match i {
+                0..=7 => assert_eq!(r.result, OpResult::Found(i as u32 * 10)),
+                8..=15 => assert_eq!(r.result, OpResult::NotFound),
+                16..=23 => assert_eq!(r.result, OpResult::Inserted),
+                24..=25 => assert!(matches!(r.result, OpResult::Deleted(_))),
+                _ => assert_eq!(r.result, OpResult::NotFound),
+            }
+        }
+        assert_eq!(t.len(), 8 + 8);
+    }
+
+    #[test]
+    fn empty_and_padded_batches() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        let mut batch: Vec<Request> = vec![Request::default(); 5];
+        batch[2] = Request::replace(1, 2);
+        w.execute(&mut batch);
+        assert_eq!(batch[2].result, OpResult::Inserted);
+        assert_eq!(batch[0].result, OpResult::Pending);
+        let mut empty: [Request; 0] = [];
+        w.execute(&mut empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_keys_rejected() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        w.replace(crate::entry::EMPTY_KEY, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn oversized_batch_rejected() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        let mut batch = vec![Request::search(0); 33];
+        w.execute(&mut batch);
+    }
+
+    #[test]
+    fn search_transaction_count_single_slab() {
+        // A hit in the base slab costs exactly one coalesced slab read.
+        let t = kv_table(8);
+        let mut w = WarpDriver::new(&t);
+        w.replace(1, 5);
+        w.reset_counters();
+        w.search(1);
+        assert_eq!(w.counters().slab_reads, 1);
+        assert_eq!(w.counters().atomics, 0);
+        assert_eq!(w.counters().warp_rounds, 1);
+    }
+
+    #[test]
+    fn insert_transaction_count_fast_path() {
+        // Paper §VI-A: "for insertion, ideally we will have one memory
+        // access (reading the slab) and a single atomicCAS".
+        let t = kv_table(8);
+        let mut w = WarpDriver::new(&t);
+        w.reset_counters();
+        w.replace(1, 5);
+        assert_eq!(w.counters().slab_reads, 1);
+        assert_eq!(w.counters().atomics, 1);
+    }
+
+    #[test]
+    fn unsuccessful_search_walks_whole_chain() {
+        let t = kv_table(1);
+        let mut w = WarpDriver::new(&t);
+        for k in 0..45 {
+            w.replace(k, k); // 3 slabs
+        }
+        w.reset_counters();
+        w.search(999);
+        assert_eq!(
+            w.counters().slab_reads,
+            t.bucket_slab_count(0) as u64,
+            "a miss reads every slab in the chain"
+        );
+    }
+
+    #[test]
+    fn values_may_use_full_u32_range() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        w.replace(1, u32::MAX);
+        w.replace(2, 0);
+        assert_eq!(w.search(1), Some(u32::MAX));
+        assert_eq!(w.search(2), Some(0));
+    }
+
+    #[test]
+    fn key_zero_is_valid() {
+        let t = kv_table(4);
+        let mut w = WarpDriver::new(&t);
+        w.replace(0, 123);
+        assert_eq!(w.search(0), Some(123));
+        assert_eq!(w.delete(0), Some(123));
+    }
+
+    #[test]
+    fn op_result_helpers() {
+        assert!(OpResult::Found(3).is_success());
+        assert!(!OpResult::NotFound.is_success());
+        assert!(!OpResult::Pending.is_success());
+        assert_eq!(OpResult::Found(3).value(), Some(3));
+        assert_eq!(OpResult::Deleted(9).value(), Some(9));
+        assert_eq!(OpResult::NotFound.value(), None);
+    }
+
+    #[test]
+    fn request_constructors_set_kind() {
+        assert_eq!(Request::insert(1, 2).op, OpKind::Insert);
+        assert_eq!(Request::replace(1, 2).op, OpKind::Replace);
+        assert_eq!(Request::search(1).op, OpKind::Search);
+        assert_eq!(Request::search_all(1).op, OpKind::SearchAll);
+        assert_eq!(Request::delete(1).op, OpKind::Delete);
+        assert_eq!(Request::delete_all(1).op, OpKind::DeleteAll);
+    }
+}
+
+#[cfg(test)]
+mod strict_tests {
+    use super::*;
+    use crate::entry::{KeyOnly, KeyValue};
+    use crate::hash_table::SlabHashConfig;
+    use crate::WarpDriver;
+
+    #[test]
+    fn strict_replace_roundtrip() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(4));
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.replace_strict(1, 10), None);
+        assert_eq!(w.replace_strict(1, 11), Some(10));
+        assert_eq!(w.search(1), Some(11));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn strict_and_fast_replace_agree_over_a_workload() {
+        let fast = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(2));
+        let strict = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(2));
+        let mut wf = WarpDriver::new(&fast);
+        let mut ws = WarpDriver::new(&strict);
+        // Deterministic mixed workload with updates and deletes.
+        let mut x = 12345u32;
+        for step in 0..3_000u32 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let key = x % 200;
+            match step % 5 {
+                0..=2 => {
+                    let a = wf.replace(key, step);
+                    let b = ws.replace_strict(key, step);
+                    assert_eq!(a, b, "step {step} key {key}");
+                }
+                3 => {
+                    assert_eq!(wf.delete(key), ws.delete(key));
+                }
+                _ => {
+                    assert_eq!(wf.search(key), ws.search(key));
+                }
+            }
+        }
+        let mut a = fast.collect_elements();
+        let mut b = strict.collect_elements();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "fast and strict REPLACE diverged");
+        strict.audit().unwrap();
+    }
+
+    #[test]
+    fn strict_replace_reads_whole_list_on_miss() {
+        let t = SlabHash::<KeyOnly>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..80 {
+            w.replace(k, 0); // 3 slabs, last one partially filled
+        }
+        let chain = t.bucket_slab_count(0) as u64;
+        w.reset_counters();
+        w.replace_strict(1_000, 0); // absent: full scan + tail insert
+        assert!(
+            w.counters().slab_reads >= chain,
+            "strict scan read {} slabs of a {}-slab chain",
+            w.counters().slab_reads,
+            chain
+        );
+        // The fast variant would stop at the first empty slot instead.
+        w.reset_counters();
+        w.replace(2_000, 0);
+        assert!(w.counters().slab_reads <= chain);
+    }
+
+    #[test]
+    fn strict_replace_concurrent_uniqueness() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let grid = simt::Grid::new(8);
+        let mut reqs: Vec<Request> = (0..256).map(|i| Request::replace_strict(9, i)).collect();
+        t.execute_batch(&mut reqs, &grid);
+        let inserted = reqs
+            .iter()
+            .filter(|r| r.result == OpResult::Inserted)
+            .count();
+        assert_eq!(inserted, 1);
+        assert_eq!(t.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tail_hint_tests {
+    use super::*;
+    use crate::entry::KeyValue;
+    use crate::hash_table::SlabHashConfig;
+    use crate::WarpDriver;
+
+    #[test]
+    fn insert_tail_roundtrip_and_audit() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..200 {
+            assert_eq!(w.insert_tail(k, k), OpResult::Inserted);
+        }
+        assert_eq!(t.len(), 200);
+        for k in 0..200 {
+            assert_eq!(w.search(k), Some(k));
+        }
+        t.audit().expect("tail hint must stay inside the chain");
+    }
+
+    #[test]
+    fn insert_tail_skips_middle_slabs() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        // Build a long chain first.
+        for k in 0..150 {
+            w.insert(k, k); // 10 slabs
+        }
+        let chain = t.bucket_slab_count(0) as u64;
+        assert!(chain >= 10);
+
+        // Plain INSERT walks the chain; InsertTail jumps via the hint.
+        w.reset_counters();
+        w.insert(500, 0);
+        let walk_reads = w.counters().slab_reads;
+        w.reset_counters();
+        w.insert_tail(501, 0);
+        let jump_reads = w.counters().slab_reads;
+        assert!(
+            jump_reads < walk_reads,
+            "tail jump ({jump_reads} reads) must beat the walk ({walk_reads} reads)"
+        );
+        assert!(jump_reads <= 4, "base + tail (+ link) reads only");
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn insert_tail_on_single_slab_bucket_behaves_like_insert() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(4));
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.insert_tail(1, 10), OpResult::Inserted);
+        assert_eq!(w.search(1), Some(10));
+        assert_eq!(t.len(), 1);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn flush_refreshes_tail_hint() {
+        let mut t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..100 {
+            w.insert_tail(k, k); // several slabs, hint set
+        }
+        for k in 0..80 {
+            w.delete(k);
+        }
+        t.flush(&simt::Grid::sequential());
+        t.audit().expect("hint must be valid after flush");
+        // And the hint keeps working for further appends.
+        let mut w = WarpDriver::new(&t);
+        for k in 1_000..1_100 {
+            w.insert_tail(k, k);
+        }
+        assert_eq!(t.len(), 20 + 100);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn concurrent_insert_tail_no_leaks_or_duplicates() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(2));
+        let grid = simt::Grid::new(8);
+        let mut reqs: Vec<Request> = (0..3_000).map(|k| Request::insert_tail(k, k)).collect();
+        t.execute_batch(&mut reqs, &grid);
+        assert!(reqs.iter().all(|r| r.result == OpResult::Inserted));
+        assert_eq!(t.len(), 3_000);
+        let audit = t.audit().unwrap();
+        assert!(audit.no_leaks());
+    }
+}
+
+#[cfg(test)]
+mod rmw_tests {
+    use super::*;
+    use crate::entry::{KeyOnly, KeyValue};
+    use crate::hash_table::SlabHashConfig;
+    use crate::WarpDriver;
+
+    #[test]
+    fn try_insert_never_overwrites() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(4));
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.try_insert(5, 50), Ok(()));
+        assert_eq!(w.try_insert(5, 51), Err(50));
+        assert_eq!(w.search(5), Some(50), "value must be untouched");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn try_insert_key_only() {
+        let t = SlabHash::<KeyOnly>::new(SlabHashConfig::with_buckets(2));
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.try_insert(9, 0), Ok(()));
+        assert_eq!(w.try_insert(9, 0), Err(9));
+    }
+
+    #[test]
+    fn compare_exchange_semantics() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(4));
+        let mut w = WarpDriver::new(&t);
+        assert_eq!(w.compare_exchange(1, 0, 10), Err(None), "absent key");
+        w.replace(1, 10);
+        assert_eq!(w.compare_exchange(1, 10, 11), Ok(10));
+        assert_eq!(w.compare_exchange(1, 10, 12), Err(Some(11)), "stale comparand");
+        assert_eq!(w.search(1), Some(11));
+    }
+
+    #[test]
+    fn compare_exchange_traverses_chains() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        for k in 0..60 {
+            w.replace(k, k); // 4 slabs
+        }
+        assert_eq!(w.compare_exchange(59, 59, 590), Ok(59));
+        assert_eq!(w.search(59), Some(590));
+        assert_eq!(w.compare_exchange(999, 0, 1), Err(None));
+    }
+
+    #[test]
+    fn concurrent_try_insert_single_winner() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let grid = simt::Grid::new(8);
+        let _chaos = simt::ChaosGuard::new(0.2);
+        let mut reqs: Vec<Request> = (0..256).map(|i| Request::try_insert(7, i)).collect();
+        t.execute_batch(&mut reqs, &grid);
+        let winners = reqs
+            .iter()
+            .filter(|r| r.result == OpResult::Inserted)
+            .count();
+        assert_eq!(winners, 1, "try_insert must have exactly one winner");
+        // Every loser saw the winner's value.
+        let winner_value = reqs
+            .iter()
+            .position(|r| r.result == OpResult::Inserted)
+            .unwrap() as u32;
+        for r in &reqs {
+            if let OpResult::Found(v) = r.result {
+                assert_eq!(v, winner_value);
+            }
+        }
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_compare_exchange_chain_applies_each_once() {
+        // 256 CAS requests k: v -> v+1 with expected = their index; executed
+        // concurrently, exactly the ones whose comparand matches the value's
+        // actual trajectory succeed, and the final value equals the number
+        // of successes.
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        w.replace(3, 0);
+        let grid = simt::Grid::new(8);
+        let _chaos = simt::ChaosGuard::new(0.2);
+        let mut reqs: Vec<Request> = (0..256).map(|i| Request::compare_exchange(3, i, i + 1)).collect();
+        t.execute_batch(&mut reqs, &grid);
+        let successes = reqs
+            .iter()
+            .filter(|r| matches!(r.result, OpResult::Replaced(_)))
+            .count() as u32;
+        let final_value = w.search(3).unwrap();
+        assert_eq!(
+            final_value, successes,
+            "value must equal the number of applied CAS transitions"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Chaos scheduling: forced interleavings for lock-free race testing.
+//!
+//! The substrate runs warps on OS threads, so on a many-core host races
+//! happen naturally. On a single-core host (CI boxes, laptops in power
+//! save), threads only interleave at preemption boundaries — milliseconds
+//! apart — and the narrow windows lock-free algorithms care about (between
+//! a slab read and the CAS that validates it) would almost never be hit.
+//!
+//! Chaos mode closes that gap: when enabled, the memory layer yields the
+//! OS thread with probability `p` immediately **before each atomic RMW**,
+//! maximizing the chance that another warp's operation lands inside the
+//! read-then-CAS window. Tests that assert linearizable outcomes under
+//! concurrency enable it around their stress loops.
+//!
+//! Disabled (the default), the cost is one relaxed atomic load per RMW.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Yield probability in units of 1/2^32 (0 = disabled).
+static CHAOS_LEVEL: AtomicU32 = AtomicU32::new(0);
+
+/// Enables chaos mode: before each atomic RMW, yield the OS thread with
+/// probability `p` (clamped to [0, 1]).
+pub fn set_chaos(p: f64) {
+    let level = (p.clamp(0.0, 1.0) * u32::MAX as f64) as u32;
+    CHAOS_LEVEL.store(level, Ordering::Relaxed);
+}
+
+/// Disables chaos mode.
+pub fn disable_chaos() {
+    CHAOS_LEVEL.store(0, Ordering::Relaxed);
+}
+
+/// RAII guard: chaos on while alive, off when dropped.
+pub struct ChaosGuard(());
+
+impl ChaosGuard {
+    /// Enables chaos at probability `p` for the guard's lifetime.
+    pub fn new(p: f64) -> Self {
+        set_chaos(p);
+        ChaosGuard(())
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        disable_chaos();
+    }
+}
+
+thread_local! {
+    static RNG: std::cell::Cell<u32> = const { std::cell::Cell::new(0x1234_5678) };
+}
+
+/// Called by the memory layer (and other lock-free substrates built on this
+/// crate) before atomic RMWs. Yields the OS thread with the configured
+/// probability; a no-op when chaos is disabled.
+#[inline]
+pub fn maybe_yield() {
+    let level = CHAOS_LEVEL.load(Ordering::Relaxed);
+    if level == 0 {
+        return;
+    }
+    let draw = RNG.with(|c| {
+        // xorshift32: cheap, per-thread, deterministic enough.
+        let mut x = c.get();
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        c.set(x);
+        x
+    });
+    if draw <= level {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_guard_restores() {
+        assert_eq!(CHAOS_LEVEL.load(Ordering::Relaxed), 0);
+        {
+            let _g = ChaosGuard::new(0.5);
+            assert!(CHAOS_LEVEL.load(Ordering::Relaxed) > 0);
+            maybe_yield(); // must not panic or hang
+        }
+        assert_eq!(CHAOS_LEVEL.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn full_probability_always_yields_without_deadlock() {
+        let _g = ChaosGuard::new(1.0);
+        for _ in 0..100 {
+            maybe_yield();
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        set_chaos(7.5);
+        assert_eq!(CHAOS_LEVEL.load(Ordering::Relaxed), u32::MAX);
+        set_chaos(-1.0);
+        assert_eq!(CHAOS_LEVEL.load(Ordering::Relaxed), 0);
+    }
+}

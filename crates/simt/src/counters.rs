@@ -1,0 +1,207 @@
+//! Performance counters collected during simulated kernel execution.
+//!
+//! Every memory transaction the algorithms issue is counted with the
+//! granularity GPUs bill them at: coalesced 128 B slab reads, scattered 32 B
+//! sectors, and atomic RMWs. The counts feed the roofline model
+//! ([`crate::model::GpuModel`]) that estimates what the same transaction
+//! stream would cost on the paper's Tesla K40c; they are also invaluable in
+//! tests (e.g. "an unsuccessful search at β=0.2 touches ~1.2 slabs").
+
+/// Counter block. One instance lives in each [`crate::grid::WarpCtx`] (so
+/// incrementing is a plain add on thread-local state) and blocks are merged
+/// after a launch completes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Warp-coalesced 128-byte slab reads (`ReadSlab()`).
+    pub slab_reads: u64,
+    /// Scattered 32-byte sector reads (per-thread probes: cuckoo, Misra,
+    /// single-lane reads).
+    pub sector_reads: u64,
+    /// Scattered 32-byte sector writes.
+    pub sector_writes: u64,
+    /// Atomic compare-and-swap class RMWs (CAS / and / or) — the expensive
+    /// class: a failed compare costs a full round-trip and a retry.
+    pub atomics: u64,
+    /// Atomic exchange/add class RMWs — cheaper on hardware (no compare, no
+    /// retry loop); cuckoo hashing's eviction step lives here.
+    pub atomic_exchanges: u64,
+    /// Iterations of a warp's work-sharing loop (one round = one ballot +
+    /// shuffle + branch sequence; proxies instruction-issue cost).
+    pub warp_rounds: u64,
+    /// Lane-scoped operations retired (inserts, deletes, searches, allocs —
+    /// whatever the kernel counts as its unit of work).
+    pub ops: u64,
+    /// Dynamic slab allocations served.
+    pub allocations: u64,
+    /// Dynamic slab deallocations.
+    pub deallocations: u64,
+    /// Allocator resident-block changes (each costs one coalesced bitmap read).
+    pub resident_changes: u64,
+    /// CAS attempts that failed and were retried (contention measure).
+    pub cas_failures: u64,
+    /// Divergent per-thread traversal steps (per-thread baselines execute
+    /// lanes serially within a warp; each serialized step is billed here).
+    pub divergent_steps: u64,
+    /// Shared-memory address decodes: the regular SlabAlloc stores each super
+    /// block's 64-bit base pointer in shared memory, so every slab resolution
+    /// costs one shared-memory lookup; SlabAlloc-light skips it (paper §V).
+    pub shared_lookups: u64,
+    /// Acquisitions of a device-wide serializing lock (only the CUDA-malloc
+    /// baseline allocator uses one; billed at the paper's measured cost).
+    pub lock_acquisitions: u64,
+}
+
+impl PerfCounters {
+    /// Merges another counter block into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.slab_reads += other.slab_reads;
+        self.sector_reads += other.sector_reads;
+        self.sector_writes += other.sector_writes;
+        self.atomics += other.atomics;
+        self.atomic_exchanges += other.atomic_exchanges;
+        self.warp_rounds += other.warp_rounds;
+        self.ops += other.ops;
+        self.allocations += other.allocations;
+        self.deallocations += other.deallocations;
+        self.resident_changes += other.resident_changes;
+        self.cas_failures += other.cas_failures;
+        self.divergent_steps += other.divergent_steps;
+        self.shared_lookups += other.shared_lookups;
+        self.lock_acquisitions += other.lock_acquisitions;
+    }
+
+    /// Total bytes moved through the memory system under the transaction
+    /// accounting rules in DESIGN.md §1.
+    #[inline]
+    pub fn bytes_moved(&self) -> u64 {
+        self.slab_reads * 128
+            + (self.sector_reads + self.sector_writes + self.atomics + self.atomic_exchanges) * 32
+    }
+
+    /// Memory transactions of any size.
+    #[inline]
+    pub fn transactions(&self) -> u64 {
+        self.slab_reads
+            + self.sector_reads
+            + self.sector_writes
+            + self.atomics
+            + self.atomic_exchanges
+    }
+
+    /// Average coalesced slab reads per retired operation.
+    pub fn slab_reads_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.slab_reads as f64 / self.ops as f64
+        }
+    }
+
+    /// Average atomics per retired operation.
+    pub fn atomics_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.atomics as f64 / self.ops as f64
+        }
+    }
+}
+
+impl std::ops::Add for PerfCounters {
+    type Output = PerfCounters;
+    fn add(mut self, rhs: PerfCounters) -> PerfCounters {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for PerfCounters {
+    fn sum<I: Iterator<Item = PerfCounters>>(iter: I) -> Self {
+        let mut acc = PerfCounters::default();
+        for c in iter {
+            acc.merge(&c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let a = PerfCounters {
+            slab_reads: 1,
+            sector_reads: 2,
+            sector_writes: 3,
+            atomics: 4,
+            atomic_exchanges: 14,
+            warp_rounds: 5,
+            ops: 6,
+            allocations: 7,
+            deallocations: 8,
+            resident_changes: 9,
+            cas_failures: 10,
+            divergent_steps: 11,
+            shared_lookups: 12,
+            lock_acquisitions: 13,
+        };
+        let doubled = a + a;
+        assert_eq!(doubled.slab_reads, 2);
+        assert_eq!(doubled.sector_reads, 4);
+        assert_eq!(doubled.sector_writes, 6);
+        assert_eq!(doubled.atomics, 8);
+        assert_eq!(doubled.atomic_exchanges, 28);
+        assert_eq!(doubled.warp_rounds, 10);
+        assert_eq!(doubled.ops, 12);
+        assert_eq!(doubled.allocations, 14);
+        assert_eq!(doubled.deallocations, 16);
+        assert_eq!(doubled.resident_changes, 18);
+        assert_eq!(doubled.cas_failures, 20);
+        assert_eq!(doubled.divergent_steps, 22);
+        assert_eq!(doubled.shared_lookups, 24);
+        assert_eq!(doubled.lock_acquisitions, 26);
+    }
+
+    #[test]
+    fn bytes_moved_accounting() {
+        let c = PerfCounters {
+            slab_reads: 2,
+            sector_reads: 1,
+            sector_writes: 1,
+            atomics: 1,
+            ..Default::default()
+        };
+        assert_eq!(c.bytes_moved(), 2 * 128 + 3 * 32);
+        assert_eq!(c.transactions(), 5);
+    }
+
+    #[test]
+    fn per_op_rates_handle_zero_ops() {
+        let c = PerfCounters::default();
+        assert_eq!(c.slab_reads_per_op(), 0.0);
+        let c = PerfCounters {
+            ops: 4,
+            slab_reads: 6,
+            atomics: 2,
+            ..Default::default()
+        };
+        assert!((c.slab_reads_per_op() - 1.5).abs() < 1e-12);
+        assert!((c.atomics_per_op() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let blocks = vec![
+            PerfCounters {
+                ops: 1,
+                ..Default::default()
+            };
+            5
+        ];
+        let total: PerfCounters = blocks.into_iter().sum();
+        assert_eq!(total.ops, 5);
+    }
+}

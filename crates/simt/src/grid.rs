@@ -1,0 +1,264 @@
+//! Kernel launching: scheduling simulated warps over CPU threads.
+//!
+//! A GPU kernel launch creates `ceil(n / 32)` warps that the hardware
+//! scheduler multiplexes over its streaming multiprocessors. We reproduce the
+//! structure directly: work items (one per simulated GPU thread) are split
+//! into warp-sized chunks and a pool of OS threads drains them from a shared
+//! queue. Warps that run on different OS threads execute *genuinely
+//! concurrently*, so every inter-warp race in the paper's lock-free
+//! algorithms (CAS retries, allocate-then-link races, delete/search
+//! interleavings) is exercised for real, not emulated.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::counters::PerfCounters;
+use crate::warp::WARP_SIZE;
+
+/// Per-warp execution context handed to kernels.
+///
+/// The context is exclusive to one warp for the duration of its execution, so
+/// counter updates are plain (non-atomic) increments; blocks are merged when
+/// the launch completes.
+pub struct WarpCtx {
+    /// Global warp id within the launch (the paper's allocator hashes this to
+    /// pick resident memory blocks).
+    pub warp_id: usize,
+    /// Performance counters for this warp.
+    pub counters: PerfCounters,
+}
+
+impl WarpCtx {
+    /// Creates a context for unit tests and single-warp drivers.
+    pub fn for_test(warp_id: usize) -> Self {
+        Self {
+            warp_id,
+            counters: PerfCounters::default(),
+        }
+    }
+}
+
+/// Result of a kernel launch: merged counters plus host-side wall time of the
+/// simulation (reported alongside, never mixed with, model-estimated time).
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchReport {
+    /// Counters merged across all warps.
+    pub counters: PerfCounters,
+    /// Wall-clock time the simulation took on the CPU.
+    pub wall: Duration,
+    /// Number of warps executed.
+    pub warps: usize,
+}
+
+impl LaunchReport {
+    /// Host-side throughput in operations per second (simulation speed, *not*
+    /// the modeled GPU speed).
+    pub fn cpu_ops_per_sec(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.counters.ops as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// The warp scheduler: a fixed-width pool of OS threads standing in for the
+/// GPU's SMs.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    num_threads: usize,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+impl Grid {
+    /// A scheduler with `num_threads` concurrent warp executors (clamped to
+    /// at least one).
+    pub fn new(num_threads: usize) -> Self {
+        Self {
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// A single-threaded scheduler: warps run one after another in warp-id
+    /// order. Deterministic — used by tests that need reproducible
+    /// interleavings-free behaviour.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of OS threads used for warp execution.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Launches a kernel over `items`, one item per simulated GPU thread.
+    ///
+    /// `kernel` is invoked once per warp with the warp's up-to-32 work items;
+    /// the final (partial) warp simply has fewer. This mirrors CUDA's
+    /// `if (tid < n)` guard: inactive lanes exist but carry no work.
+    pub fn launch<T, F>(&self, items: &mut [T], kernel: F) -> LaunchReport
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &mut [T]) + Sync,
+    {
+        let start = Instant::now();
+        let chunks: Vec<(usize, &mut [T])> = items.chunks_mut(WARP_SIZE).enumerate().collect();
+        let warps = chunks.len();
+        let queue = parking_lot::Mutex::new(chunks.into_iter());
+        let counters = self.run_warps(warps, |warp_ctx| loop {
+            let next = queue.lock().next();
+            match next {
+                Some((warp_id, chunk)) => {
+                    warp_ctx.warp_id = warp_id;
+                    kernel(warp_ctx, chunk);
+                }
+                None => break,
+            }
+        });
+        LaunchReport {
+            counters,
+            wall: start.elapsed(),
+            warps,
+        }
+    }
+
+    /// Launches a kernel of `num_warps` warps with no attached work items;
+    /// each warp receives its warp id through the context. Used by
+    /// whole-bucket kernels such as FLUSH and by allocator stress tests.
+    pub fn launch_warps<F>(&self, num_warps: usize, kernel: F) -> LaunchReport
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        let start = Instant::now();
+        let next_warp = AtomicUsize::new(0);
+        let counters = self.run_warps(num_warps, |warp_ctx| loop {
+            let warp_id = next_warp.fetch_add(1, Ordering::Relaxed);
+            if warp_id >= num_warps {
+                break;
+            }
+            warp_ctx.warp_id = warp_id;
+            kernel(warp_ctx);
+        });
+        LaunchReport {
+            counters,
+            wall: start.elapsed(),
+            warps: num_warps,
+        }
+    }
+
+    /// Spawns the executor threads, runs `body` on each with a fresh warp
+    /// context, and merges the resulting counters.
+    fn run_warps<B>(&self, expected_warps: usize, body: B) -> PerfCounters
+    where
+        B: Fn(&mut WarpCtx) + Sync,
+    {
+        // Don't spawn more executors than there are warps to run.
+        let executors = self.num_threads.min(expected_warps.max(1));
+        if executors == 1 {
+            let mut ctx = WarpCtx {
+                warp_id: 0,
+                counters: PerfCounters::default(),
+            };
+            body(&mut ctx);
+            return ctx.counters;
+        }
+        let merged = parking_lot::Mutex::new(PerfCounters::default());
+        std::thread::scope(|scope| {
+            for _ in 0..executors {
+                scope.spawn(|| {
+                    let mut ctx = WarpCtx {
+                        warp_id: usize::MAX,
+                        counters: PerfCounters::default(),
+                    };
+                    body(&mut ctx);
+                    merged.lock().merge(&ctx.counters);
+                });
+            }
+        });
+        merged.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn launch_visits_every_item_exactly_once() {
+        let grid = Grid::new(4);
+        let mut items = vec![0u32; 1000];
+        let report = grid.launch(&mut items, |ctx, chunk| {
+            for item in chunk.iter_mut() {
+                *item += 1;
+                ctx.counters.ops += 1;
+            }
+        });
+        assert!(items.iter().all(|&v| v == 1));
+        assert_eq!(report.counters.ops, 1000);
+        assert_eq!(report.warps, 1000_usize.div_ceil(WARP_SIZE));
+    }
+
+    #[test]
+    fn partial_final_warp_gets_remainder() {
+        let grid = Grid::sequential();
+        let mut items = vec![0u8; 70]; // 2 full warps + 6 lanes
+        let sizes = parking_lot::Mutex::new(vec![]);
+        grid.launch(&mut items, |_, chunk| sizes.lock().push(chunk.len()));
+        let mut sizes = sizes.into_inner();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![6, 32, 32]);
+    }
+
+    #[test]
+    fn warp_ids_are_unique_and_dense() {
+        let grid = Grid::new(8);
+        let seen = (0..64).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let mut items = vec![(); 64 * WARP_SIZE];
+        grid.launch(&mut items, |ctx, _| {
+            seen[ctx.warp_id].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn launch_warps_runs_each_warp_once() {
+        let grid = Grid::new(3);
+        let hits = AtomicU64::new(0);
+        let report = grid.launch_warps(100, |ctx| {
+            assert!(ctx.warp_id < 100);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(report.warps, 100);
+    }
+
+    #[test]
+    fn counters_are_merged_across_threads() {
+        let grid = Grid::new(4);
+        let report = grid.launch_warps(257, |ctx| {
+            ctx.counters.slab_reads += 2;
+            ctx.counters.ops += 1;
+        });
+        assert_eq!(report.counters.slab_reads, 514);
+        assert_eq!(report.counters.ops, 257);
+    }
+
+    #[test]
+    fn empty_launch_is_fine() {
+        let grid = Grid::default();
+        let mut items: Vec<u32> = vec![];
+        let report = grid.launch(&mut items, |_, _| panic!("no warps expected"));
+        assert_eq!(report.warps, 0);
+        assert_eq!(report.counters, PerfCounters::default());
+    }
+}

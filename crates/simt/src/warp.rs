@@ -1,0 +1,162 @@
+//! Warp-wide intrinsics over lockstep lane state.
+//!
+//! On NVIDIA hardware a *warp* is a SIMD group of 32 threads executing in
+//! lockstep; warp-wide instructions (`__ballot`, `__shfl`, `__ffs`) let the
+//! lanes communicate without going through memory. The slab hash's
+//! warp-cooperative work sharing strategy (paper §IV-A) is built entirely on
+//! these three primitives, so we model them exactly: a warp's per-lane state
+//! is a `[T; 32]` array and each intrinsic is a pure horizontal function over
+//! it. This keeps the ported pseudocode (paper Fig. 2) line-for-line
+//! recognizable and lets the intrinsics be unit-tested in isolation.
+
+/// SIMD width of the simulated machine. Fixed at 32 to match every NVIDIA
+/// architecture the paper targets (Kepler through today).
+pub const WARP_SIZE: usize = 32;
+
+/// A full warp mask: every lane's ballot bit set.
+pub const FULL_MASK: u32 = u32::MAX;
+
+/// Lane index within a warp (0..32). A thin newtype so signatures make it
+/// obvious which `u32`s are lane ids rather than data.
+pub type Lane = usize;
+
+/// `__ballot_sync`: returns a 32-bit mask with bit *i* set iff `pred(lane_i)`
+/// is true. All lanes receive the same value (we return it once; the caller
+/// is lockstep by construction).
+#[inline]
+pub fn ballot<T>(lanes: &[T; WARP_SIZE], mut pred: impl FnMut(&T) -> bool) -> u32 {
+    let mut mask = 0u32;
+    for (i, lane) in lanes.iter().enumerate() {
+        if pred(lane) {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// `__ballot_sync` over a plain array of lane values compared for equality.
+#[inline]
+pub fn ballot_eq(values: &[u32; WARP_SIZE], target: u32) -> u32 {
+    let mut mask = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if v == target {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// `__shfl_sync(v, src_lane)`: every lane reads lane `src`'s value. In the
+/// scalarized model that is a single indexed read.
+#[inline]
+pub fn shfl<T: Copy>(lanes: &[T; WARP_SIZE], src: Lane) -> T {
+    debug_assert!(src < WARP_SIZE, "shuffle source lane out of range");
+    lanes[src]
+}
+
+/// CUDA `__ffs(mask) - 1` adjusted to return the first set bit as a lane
+/// index, or `None` when the mask is empty. The paper uses `__ffs` both as
+/// `next_prior()` (pick the next queued operation) and to locate the found /
+/// destination lane in a ballot result.
+#[inline]
+pub fn ffs(mask: u32) -> Option<Lane> {
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as Lane)
+    }
+}
+
+/// Number of lanes whose ballot bit is set.
+#[inline]
+pub fn popc(mask: u32) -> u32 {
+    mask.count_ones()
+}
+
+/// Mask with bits `[0, n)` set — e.g. the paper's `VALID_KEY_MASK` builders.
+#[inline]
+pub fn lanes_below(n: usize) -> u32 {
+    debug_assert!(n <= WARP_SIZE);
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Mask of the even lanes among the first `n` lanes (key lanes in the
+/// key-value layout, where even lanes hold keys and odd lanes values).
+#[inline]
+pub fn even_lanes_below(n: usize) -> u32 {
+    lanes_below(n) & 0x5555_5555
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_sets_expected_bits() {
+        let mut lanes = [0u32; WARP_SIZE];
+        lanes[0] = 7;
+        lanes[5] = 7;
+        lanes[31] = 7;
+        let mask = ballot(&lanes, |&v| v == 7);
+        assert_eq!(mask, (1 << 0) | (1 << 5) | (1u32 << 31));
+    }
+
+    #[test]
+    fn ballot_empty_and_full() {
+        let lanes = [1u32; WARP_SIZE];
+        assert_eq!(ballot(&lanes, |&v| v == 0), 0);
+        assert_eq!(ballot(&lanes, |&v| v == 1), FULL_MASK);
+    }
+
+    #[test]
+    fn ballot_eq_matches_closure_ballot() {
+        let mut lanes = [0u32; WARP_SIZE];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = (i % 3) as u32;
+        }
+        assert_eq!(ballot_eq(&lanes, 2), ballot(&lanes, |&v| v == 2));
+    }
+
+    #[test]
+    fn shfl_broadcasts_source_lane() {
+        let mut lanes = [0u64; WARP_SIZE];
+        lanes[17] = 0xdead_beef;
+        assert_eq!(shfl(&lanes, 17), 0xdead_beef);
+        assert_eq!(shfl(&lanes, 0), 0);
+    }
+
+    #[test]
+    fn ffs_finds_lowest_lane() {
+        assert_eq!(ffs(0), None);
+        assert_eq!(ffs(0b1000), Some(3));
+        assert_eq!(ffs(FULL_MASK), Some(0));
+        assert_eq!(ffs(1 << 31), Some(31));
+    }
+
+    #[test]
+    fn ffs_is_priority_order_for_work_queue() {
+        // next_prior() semantics: repeatedly clearing the returned bit walks
+        // the work queue from lane 0 upward.
+        let mut queue = 0b1010_0100u32;
+        let mut order = vec![];
+        while let Some(lane) = ffs(queue) {
+            order.push(lane);
+            queue &= !(1 << lane);
+        }
+        assert_eq!(order, vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn lane_masks() {
+        assert_eq!(lanes_below(0), 0);
+        assert_eq!(lanes_below(30), 0x3FFF_FFFF);
+        assert_eq!(lanes_below(32), u32::MAX);
+        // Even lanes 0,2,..,28 among the first 30.
+        assert_eq!(even_lanes_below(30), 0x1555_5555);
+        assert_eq!(popc(even_lanes_below(30)), 15);
+    }
+}

@@ -1,0 +1,621 @@
+//! SlabAlloc: the paper's warp-synchronous slab allocator (§V).
+//!
+//! The hierarchy is super blocks → memory blocks → 1024 memory units
+//! (slabs). Memory blocks are distributed among warps by hashing: each warp
+//! owns a *resident block* whose 1024-bit availability bitmap it caches in
+//! registers (one 32-bit word per lane). An allocation is, in the common
+//! case, a single `atomicCAS` on one bitmap word; when the resident block
+//! fills up the warp re-hashes to a new one (a "resident change", one
+//! coalesced bitmap read), and after a threshold of resident changes the
+//! allocator activates additional super blocks — the probing/growth scheme
+//! that lets the design scale to ~1 TB without CPU intervention.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use simt::warp::{ballot, ffs, WARP_SIZE};
+use simt::WarpCtx;
+
+use crate::layout::{is_allocated_ptr, SlabAddr, MAX_SUPER_BLOCKS, UNITS_PER_BLOCK};
+use crate::super_block::SuperBlock;
+use crate::traits::{SlabAllocator, SlabRef};
+
+/// Configuration for [`SlabAlloc`].
+#[derive(Debug, Clone, Copy)]
+pub struct SlabAllocConfig {
+    /// Total super blocks the allocator may grow to (NS ≤ 254).
+    pub super_blocks: u32,
+    /// Super blocks active (hashable) at creation.
+    pub initial_active: u32,
+    /// Memory blocks per super block (NM ≤ 2¹⁴). The paper's evaluation
+    /// uses 256.
+    pub blocks_per_super: u32,
+    /// Value every lane of a fresh slab is initialized to (the owning data
+    /// structure's EMPTY sentinel).
+    pub fill: u32,
+    /// Resident changes a warp tolerates before the allocator activates an
+    /// additional super block.
+    pub resident_threshold: u32,
+    /// SlabAlloc-light (§V): all super blocks behave as one contiguous
+    /// array with a single globally known base pointer, so address decoding
+    /// skips the per-super-block shared-memory lookup. Capacity is then
+    /// limited to 4 GB of slabs.
+    pub light: bool,
+}
+
+impl Default for SlabAllocConfig {
+    /// The paper's evaluation configuration: 32 super blocks, 256 memory
+    /// blocks each, 1024 units of 128 B (§VI), contiguous ("light"
+    /// addressing is what the evaluation used: "SlabAlloc with 32 super
+    /// blocks (on a contiguous allocation)").
+    fn default() -> Self {
+        Self {
+            super_blocks: 32,
+            initial_active: 32,
+            blocks_per_super: 256,
+            fill: u32::MAX,
+            resident_threshold: 2,
+            light: true,
+        }
+    }
+}
+
+impl SlabAllocConfig {
+    /// A small configuration for tests: capacity `super_blocks × blocks ×
+    /// 1024` slabs.
+    pub fn small(super_blocks: u32, blocks_per_super: u32) -> Self {
+        Self {
+            super_blocks,
+            initial_active: super_blocks,
+            blocks_per_super,
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (1..=MAX_SUPER_BLOCKS).contains(&self.super_blocks),
+            "super_blocks must be in 1..=254"
+        );
+        assert!(
+            (1..=self.super_blocks).contains(&self.initial_active),
+            "initial_active must be in 1..=super_blocks"
+        );
+        assert!(
+            (1..=(1 << 14)).contains(&self.blocks_per_super),
+            "blocks_per_super must be in 1..=16384"
+        );
+        if self.light {
+            let bytes = self.super_blocks as u64 * self.blocks_per_super as u64 * 1024 * 128;
+            assert!(
+                bytes <= 4 << 30,
+                "SlabAlloc-light is limited to 4 GB of slabs (got {bytes} bytes); \
+                 use the regular SlabAlloc for larger capacities"
+            );
+        }
+        assert!(self.resident_threshold >= 1);
+    }
+}
+
+/// Warp-private allocator state: the resident memory block and the
+/// register-cached copy of its bitmap.
+pub struct ResidentState {
+    valid: bool,
+    super_block: u32,
+    block: u32,
+    /// One cached bitmap word per lane ("by using just one 32-bit bitmap
+    /// variable per thread ... a warp can fully store a memory block's
+    /// full/empty availability").
+    cached: [u32; WARP_SIZE],
+    /// Total resident-change attempts, fed to the probing hash.
+    attempts: u32,
+}
+
+impl ResidentState {
+    fn invalid() -> Self {
+        Self {
+            valid: false,
+            super_block: 0,
+            block: 0,
+            cached: [u32::MAX; WARP_SIZE],
+            attempts: 0,
+        }
+    }
+}
+
+/// The warp-synchronous slab allocator.
+pub struct SlabAlloc {
+    config: SlabAllocConfig,
+    supers: Box<[OnceLock<SuperBlock>]>,
+    /// Number of super blocks currently in the resident-selection hash
+    /// domain; grows toward `config.super_blocks` under pressure.
+    active_supers: AtomicU32,
+}
+
+/// 32-bit finalizer from splitmix64, used as the resident-selection hash.
+#[inline]
+fn mix32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x7feb_352d);
+    x ^= x >> 15;
+    x = x.wrapping_mul(0x846c_a68b);
+    x ^= x >> 16;
+    x
+}
+
+impl SlabAlloc {
+    /// Creates an allocator. Super blocks are initialized lazily on first
+    /// residency, so a large configured capacity costs nothing up front.
+    pub fn new(config: SlabAllocConfig) -> Self {
+        config.validate();
+        let supers = (0..config.super_blocks)
+            .map(|_| OnceLock::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            config,
+            supers,
+            active_supers: AtomicU32::new(config.initial_active),
+        }
+    }
+
+    /// The paper's evaluation configuration (32 × 256 × 1024 units).
+    pub fn paper_default(fill: u32) -> Self {
+        Self::new(SlabAllocConfig {
+            fill,
+            ..SlabAllocConfig::default()
+        })
+    }
+
+    /// The allocator's configuration.
+    pub fn config(&self) -> &SlabAllocConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn super_block(&self, idx: u32) -> &SuperBlock {
+        self.supers[idx as usize]
+            .get_or_init(|| SuperBlock::new(self.config.blocks_per_super, self.config.fill))
+    }
+
+    /// Picks and caches a new resident block for the warp: "both the super
+    /// block and its memory block are chosen randomly using two different
+    /// hash functions (taking the global warp ID and the total number of
+    /// resident change attempts as input arguments)".
+    fn acquire_resident(&self, state: &mut ResidentState, ctx: &mut WarpCtx) {
+        let active = self.active_supers.load(Ordering::Acquire);
+        let h1 = mix32(ctx.warp_id as u32 ^ state.attempts.wrapping_mul(0x9e37_79b9));
+        let h2 = mix32(h1 ^ 0x85eb_ca6b);
+        state.super_block = h1 % active;
+        state.block = h2 % self.config.blocks_per_super;
+        let sb = self.super_block(state.super_block);
+        state.cached = sb.read_bitmap(state.block, &mut ctx.counters);
+        state.valid = true;
+        ctx.counters.resident_changes += 1;
+    }
+
+    /// Activates one more super block if the configuration allows. Called
+    /// when a warp has churned through `resident_threshold` resident blocks
+    /// without finding space.
+    fn grow(&self) {
+        let _ = self
+            .active_supers
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |active| {
+                (active < self.config.super_blocks).then_some(active + 1)
+            });
+    }
+
+    /// Host-side: the number of currently active (hashable) super blocks.
+    pub fn active_super_blocks(&self) -> u32 {
+        self.active_supers.load(Ordering::Acquire)
+    }
+
+    /// Host-side: audits that `ptr` is a live allocation (used by tests and
+    /// the hash table's consistency checks).
+    pub fn is_live(&self, ptr: u32) -> bool {
+        match SlabAddr::decode(ptr) {
+            Some(addr) => self
+                .supers
+                .get(addr.super_block as usize)
+                .and_then(|s| s.get())
+                .is_some_and(|sb| sb.is_unit_allocated(addr.block, addr.unit)),
+            None => false,
+        }
+    }
+}
+
+impl SlabAllocator for SlabAlloc {
+    type WarpState = ResidentState;
+
+    fn new_warp_state(&self) -> ResidentState {
+        ResidentState::invalid()
+    }
+
+    fn allocate(&self, state: &mut ResidentState, ctx: &mut WarpCtx) -> u32 {
+        // Bound: every resident block visited twice over the full hierarchy
+        // without success means the allocator is genuinely exhausted.
+        let max_attempts = 2 * self.config.super_blocks * self.config.blocks_per_super;
+        let mut failures = 0u32;
+        loop {
+            // An allocation round is heavier than a plain traversal round:
+            // ballot over the cached bitmaps, bit scan, CAS, 32-bit address
+            // encode, and a shuffle to broadcast the result (~2 round units;
+            // calibrates SlabAlloc to the paper's 600 M allocations/s).
+            ctx.counters.warp_rounds += 2;
+            if !state.valid {
+                self.acquire_resident(state, ctx);
+            }
+            // All lanes inspect their cached word; ballot who has free units.
+            let free_lanes = ballot(&state.cached, |&w| w != u32::MAX);
+            let Some(lane) = ffs(free_lanes) else {
+                // Resident block (as cached) is full: resident change.
+                state.valid = false;
+                state.attempts = state.attempts.wrapping_add(1);
+                failures += 1;
+                if failures.is_multiple_of(self.config.resident_threshold) {
+                    self.grow();
+                }
+                assert!(
+                    failures <= max_attempts,
+                    "SlabAlloc out of memory: {} slabs allocated of {} capacity",
+                    self.allocated_slabs(),
+                    self.capacity_slabs()
+                );
+                continue;
+            };
+            let word = state.cached[lane];
+            let bit = (!word).trailing_zeros();
+            let sb = self.super_block(state.super_block);
+            match sb.try_claim(state.block, lane, word, bit, &mut ctx.counters) {
+                Ok(()) => {
+                    state.cached[lane] = word | (1 << bit);
+                    ctx.counters.allocations += 1;
+                    return SlabAddr {
+                        super_block: state.super_block,
+                        block: state.block,
+                        unit: lane as u32 * 32 + bit,
+                    }
+                    .encode();
+                }
+                Err(actual) => {
+                    // Another warp beat us to this word; refresh the register
+                    // cache and retry ("the local register-level resident
+                    // bitmap should be updated").
+                    state.cached[lane] = actual;
+                }
+            }
+        }
+    }
+
+    fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx) {
+        let addr = SlabAddr::decode(ptr).expect("deallocating a sentinel pointer");
+        let sb = self.super_block(addr.super_block);
+        sb.release(addr.block, addr.unit, &mut ctx.counters);
+        ctx.counters.deallocations += 1;
+    }
+
+    fn resolve(&self, ptr: u32, ctx: &mut WarpCtx) -> SlabRef<'_> {
+        debug_assert!(is_allocated_ptr(ptr));
+        let addr = SlabAddr::decode(ptr).expect("resolving a sentinel pointer");
+        if !self.config.light {
+            // Regular SlabAlloc: the super block's 64-bit base pointer lives
+            // in shared memory and must be fetched on every lookup (§V).
+            ctx.counters.shared_lookups += 1;
+        }
+        let sb = self.super_block(addr.super_block);
+        SlabRef {
+            storage: sb.slabs(),
+            slab: addr.slab_index_in_super(),
+        }
+    }
+
+    fn allocated_slabs(&self) -> u64 {
+        self.supers
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|sb| sb.allocated_units())
+            .sum()
+    }
+
+    fn capacity_slabs(&self) -> u64 {
+        self.config.super_blocks as u64 * self.config.blocks_per_super as u64
+            * UNITS_PER_BLOCK as u64
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        // One 1024-bit bitmap per memory block across active supers.
+        self.active_super_blocks() as u64 * self.config.blocks_per_super as u64 * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn tiny() -> SlabAlloc {
+        SlabAlloc::new(SlabAllocConfig {
+            fill: u32::MAX,
+            ..SlabAllocConfig::small(2, 2)
+        })
+    }
+
+    #[test]
+    fn allocate_returns_distinct_live_pointers() {
+        let alloc = tiny();
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let ptr = alloc.allocate(&mut st, &mut ctx);
+            assert!(is_allocated_ptr(ptr));
+            assert!(seen.insert(ptr), "duplicate pointer {ptr:#x}");
+            assert!(alloc.is_live(ptr));
+        }
+        assert_eq!(alloc.allocated_slabs(), 500);
+        assert_eq!(ctx.counters.allocations, 500);
+    }
+
+    #[test]
+    fn deallocate_frees_for_reuse() {
+        let alloc = tiny();
+        let mut ctx = WarpCtx::for_test(3);
+        let mut st = alloc.new_warp_state();
+        let ptr = alloc.allocate(&mut st, &mut ctx);
+        alloc.deallocate(ptr, &mut ctx);
+        assert!(!alloc.is_live(ptr));
+        assert_eq!(alloc.allocated_slabs(), 0);
+        assert_eq!(ctx.counters.deallocations, 1);
+    }
+
+    #[test]
+    fn fresh_slabs_are_filled_with_sentinel() {
+        let alloc = SlabAlloc::new(SlabAllocConfig {
+            fill: 0xDEAD_BEEF,
+            ..SlabAllocConfig::small(1, 1)
+        });
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        let ptr = alloc.allocate(&mut st, &mut ctx);
+        let slab = alloc.resolve(ptr, &mut ctx);
+        let lanes = slab.storage.read_slab(slab.slab, &mut ctx.counters);
+        assert!(lanes.iter().all(|&l| l == 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn exhaustion_panics_not_hangs() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(1, 1)); // 1024 slabs
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        for _ in 0..1024 {
+            alloc.allocate(&mut st, &mut ctx);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = WarpCtx::for_test(0);
+            let mut st = alloc.new_warp_state();
+            alloc.allocate(&mut st, &mut ctx)
+        }));
+        assert!(result.is_err(), "allocation past capacity must panic");
+    }
+
+    #[test]
+    fn growth_activates_more_super_blocks_under_pressure() {
+        let alloc = SlabAlloc::new(SlabAllocConfig {
+            initial_active: 1,
+            resident_threshold: 1,
+            ..SlabAllocConfig::small(4, 1)
+        });
+        assert_eq!(alloc.active_super_blocks(), 1);
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        // Drain past the first super block's 1024 units; growth must kick in.
+        for _ in 0..2000 {
+            alloc.allocate(&mut st, &mut ctx);
+        }
+        assert!(alloc.active_super_blocks() > 1);
+        assert_eq!(alloc.allocated_slabs(), 2000);
+    }
+
+    #[test]
+    fn common_case_is_one_atomic_per_allocation() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 4));
+        let mut ctx = WarpCtx::for_test(7);
+        let mut st = alloc.new_warp_state();
+        for _ in 0..100 {
+            alloc.allocate(&mut st, &mut ctx);
+        }
+        // 100 allocations from one warp, no contention: exactly one atomic
+        // each plus one coalesced bitmap read at residency acquisition.
+        assert_eq!(ctx.counters.atomics, 100);
+        assert_eq!(ctx.counters.resident_changes, 1);
+        assert_eq!(ctx.counters.slab_reads, 1);
+    }
+
+    #[test]
+    fn light_vs_regular_decode_cost() {
+        for (light, expected_lookups) in [(true, 0u64), (false, 50)] {
+            let alloc = SlabAlloc::new(SlabAllocConfig {
+                light,
+                ..SlabAllocConfig::small(1, 2)
+            });
+            let mut ctx = WarpCtx::for_test(0);
+            let mut st = alloc.new_warp_state();
+            let ptr = alloc.allocate(&mut st, &mut ctx);
+            for _ in 0..50 {
+                alloc.resolve(ptr, &mut ctx);
+            }
+            assert_eq!(ctx.counters.shared_lookups, expected_lookups);
+        }
+    }
+
+    #[test]
+    fn concurrent_warps_get_disjoint_slabs() {
+        let alloc = std::sync::Arc::new(SlabAlloc::new(SlabAllocConfig::small(4, 8)));
+        let grid = simt::Grid::new(8);
+        let ptrs = parking_lot::Mutex::new(Vec::new());
+        grid.launch_warps(64, |ctx| {
+            let mut st = alloc.new_warp_state();
+            let mut mine = Vec::with_capacity(100);
+            for _ in 0..100 {
+                mine.push(alloc.allocate(&mut st, ctx));
+            }
+            ptrs.lock().extend(mine);
+        });
+        let ptrs = ptrs.into_inner();
+        assert_eq!(ptrs.len(), 6400);
+        let unique: HashSet<_> = ptrs.iter().collect();
+        assert_eq!(unique.len(), 6400, "two warps got the same slab");
+        assert_eq!(alloc.allocated_slabs(), 6400);
+    }
+
+    #[test]
+    fn concurrent_alloc_dealloc_churn_preserves_accounting() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 2));
+        let grid = simt::Grid::new(8);
+        grid.launch_warps(32, |ctx| {
+            let mut st = alloc.new_warp_state();
+            let mut held = Vec::new();
+            for round in 0..200 {
+                held.push(alloc.allocate(&mut st, ctx));
+                if round % 3 == 0 {
+                    if let Some(p) = held.pop() {
+                        alloc.deallocate(p, ctx);
+                    }
+                    if let Some(p) = held.first().copied() {
+                        held.remove(0);
+                        alloc.deallocate(p, ctx);
+                    }
+                }
+            }
+            for p in held {
+                alloc.deallocate(p, ctx);
+            }
+        });
+        assert_eq!(alloc.allocated_slabs(), 0, "leak or double-free detected");
+    }
+}
+
+#[cfg(test)]
+mod probing_tests {
+    use super::*;
+    use crate::traits::SlabAllocator;
+
+    /// The resident-selection hash must spread warps across memory blocks —
+    /// the paper's whole point of per-warp resident blocks is decontention.
+    #[test]
+    fn resident_blocks_spread_across_warps() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(4, 64));
+        let mut blocks_seen = std::collections::HashSet::new();
+        for warp_id in 0..64 {
+            let mut ctx = WarpCtx::for_test(warp_id);
+            let mut st = alloc.new_warp_state();
+            let ptr = alloc.allocate(&mut st, &mut ctx);
+            let addr = SlabAddr::decode(ptr).unwrap();
+            blocks_seen.insert((addr.super_block, addr.block));
+        }
+        // 64 warps over 256 blocks: collisions allowed, clustering not.
+        assert!(
+            blocks_seen.len() > 40,
+            "only {} distinct resident blocks for 64 warps",
+            blocks_seen.len()
+        );
+    }
+
+    /// Probing re-hashes to fresh blocks as residents fill, and the
+    /// sequence visits many distinct blocks (no short cycle).
+    #[test]
+    fn resident_probing_visits_distinct_blocks() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 16));
+        let mut ctx = WarpCtx::for_test(5);
+        let mut st = alloc.new_warp_state();
+        // Allocate 4 full blocks' worth from one warp.
+        for _ in 0..4 * 1024 {
+            alloc.allocate(&mut st, &mut ctx);
+        }
+        assert!(
+            ctx.counters.resident_changes >= 4,
+            "expected several resident changes, got {}",
+            ctx.counters.resident_changes
+        );
+        assert_eq!(alloc.allocated_slabs(), 4 * 1024);
+    }
+
+    /// Lazily initialized super blocks: capacity configured but untouched
+    /// memory is never materialized.
+    #[test]
+    fn untouched_super_blocks_stay_uninitialized() {
+        let alloc = SlabAlloc::new(SlabAllocConfig {
+            initial_active: 1,
+            ..SlabAllocConfig::small(8, 4)
+        });
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        alloc.allocate(&mut st, &mut ctx);
+        let initialized = alloc.supers.iter().filter(|s| s.get().is_some()).count();
+        assert_eq!(initialized, 1, "only the resident super block materializes");
+    }
+
+    /// Deallocations from a *different* warp than the allocator ("any warp
+    /// can release any slab") keep accounting exact.
+    #[test]
+    fn cross_warp_deallocation() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 4));
+        let mut ctx_a = WarpCtx::for_test(1);
+        let mut st_a = alloc.new_warp_state();
+        let ptrs: Vec<u32> = (0..100).map(|_| alloc.allocate(&mut st_a, &mut ctx_a)).collect();
+
+        let mut ctx_b = WarpCtx::for_test(9);
+        for p in &ptrs {
+            alloc.deallocate(*p, &mut ctx_b);
+        }
+        assert_eq!(alloc.allocated_slabs(), 0);
+        assert_eq!(ctx_b.counters.deallocations, 100);
+    }
+
+    /// Freed units are found again by later allocations (reuse), even after
+    /// the freeing warp has moved to another resident block.
+    #[test]
+    fn freed_units_are_reused() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(1, 1)); // 1024 units
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        let first: Vec<u32> = (0..1024).map(|_| alloc.allocate(&mut st, &mut ctx)).collect();
+        for p in &first[..64] {
+            alloc.deallocate(*p, &mut ctx);
+        }
+        // A fresh warp must be able to allocate the 64 freed units.
+        let mut ctx2 = WarpCtx::for_test(3);
+        let mut st2 = alloc.new_warp_state();
+        for _ in 0..64 {
+            let p = alloc.allocate(&mut st2, &mut ctx2);
+            assert!(first[..64].contains(&p), "reused ptr must come from freed set");
+        }
+    }
+
+    #[test]
+    fn paper_default_configuration() {
+        let alloc = SlabAlloc::paper_default(0xFFFF_FFFF);
+        assert_eq!(alloc.config().super_blocks, 32);
+        assert_eq!(alloc.config().blocks_per_super, 256);
+        assert_eq!(alloc.capacity_slabs(), 32 * 256 * 1024);
+        // 32 × 256 × 1024 × 128 B = 1 GB addressable.
+        assert_eq!(alloc.capacity_slabs() * 128, 1 << 30);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        for bad in [
+            SlabAllocConfig { super_blocks: 0, ..SlabAllocConfig::default() },
+            SlabAllocConfig { super_blocks: 255, initial_active: 255, ..SlabAllocConfig::default() },
+            SlabAllocConfig { initial_active: 0, ..SlabAllocConfig::default() },
+            SlabAllocConfig { initial_active: 33, ..SlabAllocConfig::default() },
+            SlabAllocConfig { blocks_per_super: 0, ..SlabAllocConfig::default() },
+            SlabAllocConfig { resident_threshold: 0, ..SlabAllocConfig::default() },
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| SlabAlloc::new(bad)).is_err(),
+                "config {bad:?} must be rejected"
+            );
+        }
+    }
+}

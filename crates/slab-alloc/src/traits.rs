@@ -1,0 +1,62 @@
+//! The allocator interface the slab hash programs against.
+//!
+//! The paper's data structures call three allocator entry points:
+//! `SlabAlloc::warp_allocate()`, `SlabAlloc::deallocate()` and the address
+//! decode inside `SlabAddress()` / `ReadSlab()`. Abstracting them as a trait
+//! lets the hash table run unchanged over SlabAlloc, SlabAlloc-light, or the
+//! baseline allocators (CUDA-malloc-like, Halloc-like) that §V compares
+//! against.
+
+use simt::memory::SlabStorage;
+use simt::WarpCtx;
+
+/// A resolved slab location: which storage array and which slab within it.
+#[derive(Clone, Copy)]
+pub struct SlabRef<'a> {
+    /// The storage array holding the slab.
+    pub storage: &'a SlabStorage,
+    /// Slab index within `storage`.
+    pub slab: usize,
+}
+
+/// A dynamic allocator of fixed-size 128 B slabs addressed by 32-bit
+/// pointers (see [`crate::layout`]).
+///
+/// Allocators are shared (`&self`) between concurrently executing warps; any
+/// warp-private allocation state (e.g. SlabAlloc's resident block and its
+/// register-cached bitmap) lives in the per-warp `WarpState`.
+pub trait SlabAllocator: Sync {
+    /// Warp-private allocator state, created once per warp.
+    type WarpState: Send;
+
+    /// Fresh warp-private state for a newly scheduled warp.
+    fn new_warp_state(&self) -> Self::WarpState;
+
+    /// Allocates one slab and returns its 32-bit pointer. The whole warp
+    /// participates (warp-synchronous); transaction costs are billed to
+    /// `ctx.counters`.
+    ///
+    /// # Panics
+    /// Panics when the allocator's configured capacity is exhausted — the
+    /// paper's allocator grows super blocks up to its 1 TB addressing limit
+    /// and likewise cannot make forward progress past it.
+    fn allocate(&self, state: &mut Self::WarpState, ctx: &mut WarpCtx) -> u32;
+
+    /// Returns a previously allocated slab to the allocator.
+    fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx);
+
+    /// Decodes a 32-bit slab pointer into a concrete storage location,
+    /// billing whatever the decode costs on device (the regular SlabAlloc's
+    /// shared-memory base-pointer lookup; nothing for -light).
+    fn resolve(&self, ptr: u32, ctx: &mut WarpCtx) -> SlabRef<'_>;
+
+    /// Slabs currently allocated (host-side statistic).
+    fn allocated_slabs(&self) -> u64;
+
+    /// Maximum slabs this allocator can serve.
+    fn capacity_slabs(&self) -> u64;
+
+    /// Bytes of allocator metadata the hot path touches (bitmaps); feeds the
+    /// roofline model's working-set estimate for allocation-heavy kernels.
+    fn metadata_bytes(&self) -> u64;
+}

@@ -1,0 +1,78 @@
+//! Concurrent frequency counting with lock-free read-modify-write.
+//!
+//! Uses the typed [`slab_hash::collections::SlabMap`] wrapper and its
+//! `upsert` primitive — built from TRYINSERT + COMPAREEXCHANGE, which the
+//! slab hash's 64-bit pair CAS makes exact (no lost increments) even with
+//! many writers hammering the same hot keys.
+//!
+//! Run with: `cargo run --release --example concurrent_counters`
+
+use std::collections::HashMap;
+
+use slab_hash::collections::SlabMap;
+
+/// A Zipf-ish skewed event stream: a few very hot keys, a long cold tail.
+fn event_stream(n: usize, seed: u32) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            // 50 % of events hit one of 8 hot keys.
+            if x & 1 == 0 {
+                (x >> 1) % 8
+            } else {
+                8 + (x >> 1) % 50_000
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let events = event_stream(400_000, 0xC0DE);
+    let map = SlabMap::with_capacity(60_000);
+    let num_workers = 4;
+
+    println!(
+        "counting {} events ({} workers, lock-free upsert on shared hot keys)",
+        events.len(),
+        num_workers
+    );
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in events.chunks(events.len() / num_workers + 1) {
+            let map = &map;
+            scope.spawn(move || {
+                let mut h = map.handle();
+                for &e in chunk {
+                    h.upsert(e, |v| v.unwrap_or(0) + 1);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    println!(
+        "done in {elapsed:?} ({:.1} M increments/s host-side)",
+        events.len() as f64 / elapsed.as_secs_f64() / 1e6
+    );
+
+    // Verify against a sequential ground truth: exactness is the point.
+    let mut truth: HashMap<u32, u32> = HashMap::new();
+    for &e in &events {
+        *truth.entry(e).or_insert(0) += 1;
+    }
+    let mut h = map.handle();
+    for (&k, &count) in &truth {
+        assert_eq!(h.get(k), Some(count), "count drift for key {k}");
+    }
+    assert_eq!(map.len(), truth.len());
+
+    let mut hot: Vec<(u32, u32)> = (0..8).map(|k| (k, h.get(k).unwrap_or(0))).collect();
+    hot.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("verified {} distinct keys against ground truth", truth.len());
+    println!("hottest keys:");
+    for (k, c) in hot.iter().take(4) {
+        println!("  key {k:>3}: {c} events");
+    }
+}

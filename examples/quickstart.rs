@@ -1,0 +1,66 @@
+//! Quickstart: the slab hash in sixty lines.
+//!
+//! Builds a key–value table, performs individual and bulk operations, and
+//! prints the memory-utilization statistics the paper's evaluation revolves
+//! around.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use simt::Grid;
+use slab_hash::{KeyValue, SlabHash, WarpDriver};
+
+fn main() {
+    // A table sized so that 100k elements land at the paper's sweet-spot
+    // 60 % memory utilization.
+    let n = 100_000usize;
+    let table = SlabHash::<KeyValue>::for_expected_elements(n, 0.6, /* seed */ 42);
+    println!(
+        "created slab hash: {} buckets, layout key-value (15 pairs / 128 B slab)",
+        table.num_buckets(),
+    );
+
+    // --- Individual operations through a driver warp -----------------------
+    let mut warp = WarpDriver::new(&table);
+    warp.replace(7, 700);
+    warp.replace(8, 800);
+    assert_eq!(warp.search(7), Some(700));
+    assert_eq!(warp.replace(7, 701), Some(700)); // uniqueness: value swapped
+    assert_eq!(warp.delete(8), Some(800));
+    assert_eq!(warp.search(8), None);
+    println!("single ops OK: search(7) = {:?}", warp.search(7));
+
+    // --- Bulk build + bulk search, concurrently over all cores -------------
+    let grid = Grid::default();
+    let pairs: Vec<(u32, u32)> = (0..n as u32).map(|k| (k * 2 + 10, k)).collect();
+    let report = table.bulk_build(&pairs, &grid);
+    println!(
+        "bulk build: {} inserts in {:?} ({} warps, {:.1} slab reads / op)",
+        report.counters.ops,
+        report.wall,
+        report.warps,
+        report.counters.slab_reads_per_op(),
+    );
+
+    let queries: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let (results, search_report) = table.bulk_search(&queries, &grid);
+    assert!(results.iter().all(|r| r.is_some()));
+    println!(
+        "bulk search: {} hits in {:?}",
+        results.len(),
+        search_report.wall
+    );
+
+    // --- The statistics the paper reports -----------------------------------
+    println!("elements stored:        {}", table.len());
+    println!("total slabs:            {}", table.total_slabs());
+    println!(
+        "memory utilization:     {:.1} %",
+        table.memory_utilization() * 100.0
+    );
+    println!("average slab count β:   {:.2}", table.beta());
+
+    // Structural audit: chains intact, no leaked slabs.
+    let audit = table.audit().expect("structural audit");
+    assert!(audit.no_leaks());
+    println!("audit OK: {audit:?}");
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+set -x
+cd /root/repo
+./target/release/fig4 --csv results > results/fig4.txt 2>&1
+./target/release/fig5 --csv results > results/fig5.txt 2>&1
+./target/release/fig6 --csv results > results/fig6.txt 2>&1
+./target/release/fig7 --csv results > results/fig7.txt 2>&1
+./target/release/alloc_cmp --csv results > results/alloc_cmp.txt 2>&1
+./target/release/ablation --csv results > results/ablation.txt 2>&1
+./target/release/related --csv results > results/related.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,5 @@
+//! Root crate re-exporting the workspace public API for examples/tests.
+pub use gpu_baselines as baselines;
+pub use simt;
+pub use slab_alloc;
+pub use slab_hash;

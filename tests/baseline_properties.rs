@@ -1,0 +1,108 @@
+//! Property-based tests for the baseline hash schemes: each must agree with
+//! a `HashMap` model on arbitrary build + query workloads.
+
+use std::collections::HashMap;
+
+use gpu_baselines::{CuckooConfig, CuckooHash, RobinHoodHash, StadiumHash};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simt::Grid;
+
+/// Distinct keys below the sentinel range, deduplicated preserving order.
+fn dedup(pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    let mut seen = std::collections::HashSet::new();
+    pairs
+        .into_iter()
+        .filter(|(k, _)| *k < 0xFFFF_0000 && seen.insert(*k))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cuckoo_matches_model(
+        raw in vec((any::<u32>(), any::<u32>()), 1..500),
+        probes in vec(0u32..0xFFFF_0000, 0..200),
+    ) {
+        let pairs = dedup(raw);
+        prop_assume!(!pairs.is_empty());
+        let model: HashMap<u32, u32> = pairs.iter().copied().collect();
+        let mut t = CuckooHash::new(pairs.len(), CuckooConfig::default());
+        t.bulk_build(&pairs, &Grid::sequential()).expect("build");
+        prop_assert_eq!(t.len(), model.len());
+        let (res, _) = t.bulk_search(&probes, &Grid::sequential());
+        for (q, r) in probes.iter().zip(&res) {
+            prop_assert_eq!(*r, model.get(q).copied(), "query {}", q);
+        }
+    }
+
+    #[test]
+    fn robin_hood_matches_model(
+        raw in vec((any::<u32>(), any::<u32>()), 1..500),
+        probes in vec(0u32..0xFFFF_0000, 0..200),
+        load in 0.2f64..0.9,
+    ) {
+        let pairs = dedup(raw);
+        prop_assume!(!pairs.is_empty());
+        let model: HashMap<u32, u32> = pairs.iter().copied().collect();
+        let t = RobinHoodHash::new(pairs.len(), load, 0xB0B);
+        t.bulk_build(&pairs, &Grid::sequential()).expect("build");
+        prop_assert_eq!(t.len(), model.len());
+        let (res, _) = t.bulk_search(&probes, &Grid::sequential());
+        for (q, r) in probes.iter().zip(&res) {
+            prop_assert_eq!(*r, model.get(q).copied(), "query {}", q);
+        }
+    }
+
+    #[test]
+    fn stadium_matches_model(
+        raw in vec((any::<u32>(), any::<u32>()), 1..500),
+        probes in vec(0u32..0xFFFF_0000, 0..200),
+        load in 0.2f64..0.9,
+    ) {
+        let pairs = dedup(raw);
+        prop_assume!(!pairs.is_empty());
+        let model: HashMap<u32, u32> = pairs.iter().copied().collect();
+        let t = StadiumHash::new(pairs.len(), load, 0x57AD);
+        t.bulk_build(&pairs, &Grid::sequential()).expect("build");
+        prop_assert_eq!(t.len(), model.len());
+        let (res, _) = t.bulk_search(&probes, &Grid::sequential());
+        for (q, r) in probes.iter().zip(&res) {
+            prop_assert_eq!(*r, model.get(q).copied(), "query {}", q);
+        }
+    }
+
+    /// All four static schemes return identical answers for identical
+    /// workloads (differential testing).
+    #[test]
+    fn schemes_agree_differentially(
+        raw in vec((any::<u32>(), any::<u32>()), 1..300),
+        probes in vec(0u32..0xFFFF_0000, 0..150),
+    ) {
+        let pairs = dedup(raw);
+        prop_assume!(!pairs.is_empty());
+        let grid = Grid::sequential();
+
+        let mut cuckoo = CuckooHash::new(pairs.len(), CuckooConfig::default());
+        cuckoo.bulk_build(&pairs, &grid).expect("cuckoo");
+        let rh = RobinHoodHash::new(pairs.len(), 0.5, 1);
+        rh.bulk_build(&pairs, &grid).expect("rh");
+        let st = StadiumHash::new(pairs.len(), 0.5, 2);
+        st.bulk_build(&pairs, &grid).expect("st");
+        let slab = slab_hash::SlabHash::<slab_hash::KeyValue>::for_expected_elements(
+            pairs.len(), 0.5, 3,
+        );
+        slab.bulk_build(&pairs, &grid);
+
+        let (rc, _) = cuckoo.bulk_search(&probes, &grid);
+        let (rr, _) = rh.bulk_search(&probes, &grid);
+        let (rs, _) = st.bulk_search(&probes, &grid);
+        let (rl, _) = slab.bulk_search(&probes, &grid);
+        for i in 0..probes.len() {
+            prop_assert_eq!(rc[i], rr[i], "cuckoo vs robin hood @ {}", probes[i]);
+            prop_assert_eq!(rc[i], rs[i], "cuckoo vs stadium @ {}", probes[i]);
+            prop_assert_eq!(rc[i], rl[i], "cuckoo vs slab hash @ {}", probes[i]);
+        }
+    }
+}

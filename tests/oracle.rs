@@ -1,0 +1,162 @@
+//! Oracle tests: long randomized operation sequences checked against a
+//! reference `HashMap`/`HashSet` model after every phase.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::{Rng, SeedableRng};
+use slab_hash::{KeyOnly, KeyValue, SlabHash, SlabHashConfig, WarpDriver};
+
+/// Drives `steps` random REPLACE/DELETE/SEARCH ops against both the table
+/// and a `HashMap` oracle, checking every search result immediately and the
+/// full contents at the end.
+fn run_kv_oracle(buckets: u32, key_space: u32, steps: usize, seed: u64) {
+    let table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(buckets));
+    let mut warp = WarpDriver::new(&table);
+    let mut oracle: HashMap<u32, u32> = HashMap::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    for step in 0..steps {
+        let key = rng.gen_range(0..key_space);
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let value = rng.gen::<u32>();
+                let prev = warp.replace(key, value);
+                assert_eq!(prev, oracle.insert(key, value), "replace({key}) @ {step}");
+            }
+            5..=6 => {
+                let removed = warp.delete(key);
+                assert_eq!(removed, oracle.remove(&key), "delete({key}) @ {step}");
+            }
+            _ => {
+                assert_eq!(
+                    warp.search(key),
+                    oracle.get(&key).copied(),
+                    "search({key}) @ {step}"
+                );
+            }
+        }
+    }
+
+    // Full-content equivalence.
+    assert_eq!(table.len(), oracle.len());
+    let mut got = table.collect_elements();
+    got.sort_unstable();
+    let mut want: Vec<(u32, u32)> = oracle.into_iter().collect();
+    want.sort_unstable();
+    assert_eq!(got, want);
+    table.audit().expect("audit after oracle run");
+}
+
+#[test]
+fn kv_oracle_small_table_heavy_chaining() {
+    run_kv_oracle(2, 200, 8_000, 1);
+}
+
+#[test]
+fn kv_oracle_medium_table() {
+    run_kv_oracle(64, 5_000, 20_000, 2);
+}
+
+#[test]
+fn kv_oracle_single_bucket_is_a_slab_list() {
+    run_kv_oracle(1, 100, 5_000, 3);
+}
+
+#[test]
+fn kv_oracle_collision_free_regime() {
+    run_kv_oracle(4_096, 1_000, 10_000, 4);
+}
+
+#[test]
+fn key_only_oracle_set_semantics() {
+    let table = SlabHash::<KeyOnly>::new(SlabHashConfig::with_buckets(16));
+    let mut warp = WarpDriver::new(&table);
+    let mut oracle: HashSet<u32> = HashSet::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    for _ in 0..20_000 {
+        let key = rng.gen_range(0..2_000);
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let newly = warp.replace(key, 0).is_none();
+                assert_eq!(newly, oracle.insert(key), "insert({key})");
+            }
+            5..=6 => {
+                assert_eq!(warp.delete(key).is_some(), oracle.remove(&key));
+            }
+            _ => {
+                assert_eq!(warp.contains(key), oracle.contains(&key));
+            }
+        }
+    }
+    assert_eq!(table.len(), oracle.len());
+}
+
+#[test]
+fn multimap_oracle_with_duplicates() {
+    // INSERT/SEARCHALL/DELETEALL against a multiset oracle.
+    let table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(8));
+    let mut warp = WarpDriver::new(&table);
+    let mut oracle: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    for _ in 0..5_000 {
+        let key = rng.gen_range(0..100);
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                let value = rng.gen::<u32>();
+                warp.insert(key, value);
+                oracle.entry(key).or_default().push(value);
+            }
+            6 => {
+                let n = warp.delete_all(key);
+                let expected = oracle.remove(&key).map_or(0, |v| v.len());
+                assert_eq!(n as usize, expected, "delete_all({key})");
+            }
+            _ => {
+                let mut got = warp.search_all(key);
+                got.sort_unstable();
+                let mut want = oracle.get(&key).cloned().unwrap_or_default();
+                want.sort_unstable();
+                assert_eq!(got, want, "search_all({key})");
+            }
+        }
+    }
+    let total: usize = oracle.values().map(Vec::len).sum();
+    assert_eq!(table.len(), total);
+}
+
+#[test]
+fn flush_interleaved_with_oracle_phases() {
+    let mut table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(8));
+    let mut oracle: HashMap<u32, u32> = HashMap::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let grid = simt::Grid::sequential();
+
+    for _phase in 0..6 {
+        {
+            let mut warp = WarpDriver::new(&table);
+            for _ in 0..2_000 {
+                let key = rng.gen_range(0..400);
+                if rng.gen_bool(0.6) {
+                    let value = rng.gen();
+                    warp.replace(key, value);
+                    oracle.insert(key, value);
+                } else {
+                    warp.delete(key);
+                    oracle.remove(&key);
+                }
+            }
+        }
+        table.flush(&grid);
+        // Flush must not change the live contents.
+        let mut got = table.collect_elements();
+        got.sort_unstable();
+        let mut want: Vec<(u32, u32)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "contents changed by flush");
+        let audit = table.audit().unwrap();
+        assert_eq!(audit.tombstones, 0, "flush must drop all tombstones");
+        assert!(audit.no_leaks());
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) over the core data structures and their
+//! invariants.
+
+use std::collections::HashMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use slab_alloc::{SlabAddr, SlabAlloc, SlabAllocConfig, SlabAllocator};
+use slab_hash::{KeyValue, SlabHash, SlabHashConfig, UniversalHash, WarpDriver, MAX_KEY};
+
+/// An abstract operation for model-based testing.
+#[derive(Debug, Clone)]
+enum Op {
+    Replace(u32, u32),
+    Insert(u32, u32),
+    Delete(u32),
+    DeleteAll(u32),
+    Search(u32),
+    SearchAll(u32),
+}
+
+/// Keys are split into two disjoint ranges: the lower half is driven with
+/// the uniqueness-preserving operations (REPLACE / DELETE / SEARCH) and the
+/// upper half with the duplicate-friendly ones (INSERT / DELETEALL /
+/// SEARCHALL). Mixing both families on one key is unsupported API usage —
+/// REPLACE's uniqueness guarantee presumes the key was never INSERTed as a
+/// duplicate (paper §III-B).
+fn op_strategy(key_space: u32) -> impl Strategy<Value = Op> {
+    let unique_key = 0..key_space / 2;
+    let multi_key = key_space / 2..key_space;
+    prop_oneof![
+        3 => (unique_key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Replace(k, v)),
+        2 => (multi_key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => unique_key.clone().prop_map(Op::Delete),
+        1 => multi_key.clone().prop_map(Op::DeleteAll),
+        2 => unique_key.prop_map(Op::Search),
+        1 => multi_key.prop_map(Op::SearchAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any sequence of operations leaves the table equivalent to a simple
+    /// multimap model, with REPLACE/DELETE acting on the least recent
+    /// instance, and the structural audit passing.
+    #[test]
+    fn table_matches_multimap_model(
+        ops in vec(op_strategy(64), 1..400),
+        buckets in 1u32..16,
+    ) {
+        let table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(buckets));
+        let mut warp = WarpDriver::new(&table);
+        // Model: key -> values in insertion order.
+        let mut model: HashMap<u32, Vec<u32>> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Replace(k, v) => {
+                    let entry = model.entry(k).or_default();
+                    let prev = warp.replace(k, v);
+                    if let Some(first) = entry.first_mut() {
+                        prop_assert_eq!(prev, Some(*first));
+                        *first = v;
+                    } else {
+                        prop_assert_eq!(prev, None);
+                        entry.push(v);
+                    }
+                }
+                Op::Insert(k, v) => {
+                    warp.insert(k, v);
+                    model.entry(k).or_default().push(v);
+                }
+                Op::Delete(k) => {
+                    let removed = warp.delete(k);
+                    let entry = model.entry(k).or_default();
+                    if entry.is_empty() {
+                        prop_assert_eq!(removed, None);
+                    } else {
+                        // Least recent = first in traversal order. With mixed
+                        // INSERT reuse the traversal order can differ from
+                        // insertion order, so only membership is asserted.
+                        let v = removed.expect("model non-empty");
+                        let pos = entry.iter().position(|&x| x == v);
+                        prop_assert!(pos.is_some(), "deleted value {} not in model", v);
+                        entry.remove(pos.unwrap());
+                    }
+                }
+                Op::DeleteAll(k) => {
+                    let n = warp.delete_all(k);
+                    let entry = model.remove(&k).unwrap_or_default();
+                    prop_assert_eq!(n as usize, entry.len());
+                }
+                Op::Search(k) => {
+                    let found = warp.search(k);
+                    let entry = model.get(&k);
+                    match entry {
+                        Some(vs) if !vs.is_empty() => {
+                            let v = found.expect("key in model must be found");
+                            prop_assert!(vs.contains(&v));
+                        }
+                        _ => prop_assert_eq!(found, None),
+                    }
+                }
+                Op::SearchAll(k) => {
+                    let mut found = warp.search_all(k);
+                    found.sort_unstable();
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    want.sort_unstable();
+                    prop_assert_eq!(found, want);
+                }
+            }
+        }
+        let total: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(table.len(), total);
+        prop_assert!(table.audit().is_ok());
+    }
+
+    /// FLUSH never changes the live contents, always removes every
+    /// tombstone, and never leaks slabs — for any operation sequence.
+    #[test]
+    fn flush_preserves_live_set(
+        ops in vec(op_strategy(48), 1..300),
+        buckets in 1u32..8,
+    ) {
+        let mut table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(buckets));
+        {
+            let mut warp = WarpDriver::new(&table);
+            for op in &ops {
+                match *op {
+                    Op::Replace(k, v) => { warp.replace(k, v); }
+                    Op::Insert(k, v) => { warp.insert(k, v); }
+                    Op::Delete(k) => { warp.delete(k); }
+                    Op::DeleteAll(k) => { warp.delete_all(k); }
+                    Op::Search(k) => { warp.search(k); }
+                    Op::SearchAll(k) => { warp.search_all(k); }
+                }
+            }
+        }
+        let mut before = table.collect_elements();
+        before.sort_unstable();
+        let slabs_before = table.total_slabs();
+
+        table.flush(&simt::Grid::sequential());
+
+        let mut after = table.collect_elements();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        prop_assert!(table.total_slabs() <= slabs_before);
+        let audit = table.audit().unwrap();
+        prop_assert_eq!(audit.tombstones, 0);
+        prop_assert!(audit.no_leaks());
+    }
+
+    /// The 32-bit slab address layout is a bijection over its valid domain.
+    #[test]
+    fn slab_address_codec_roundtrip(
+        super_block in 0u32..255,
+        block in 0u32..(1 << 14),
+        unit in 0u32..1024,
+    ) {
+        let addr = SlabAddr { super_block, block, unit };
+        let ptr = addr.encode();
+        prop_assert_eq!(SlabAddr::decode(ptr), Some(addr));
+        prop_assert!(slab_alloc::is_allocated_ptr(ptr));
+    }
+
+    /// Allocate/deallocate in any interleaving: the allocator's accounting
+    /// matches the caller's, and no pointer is handed out twice while live.
+    #[test]
+    fn allocator_accounting(script in vec(any::<bool>(), 1..300)) {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 2));
+        let mut ctx = simt::WarpCtx::for_test(0);
+        let mut state = alloc.new_warp_state();
+        let mut live: Vec<u32> = Vec::new();
+        for &do_alloc in &script {
+            if do_alloc || live.is_empty() {
+                let ptr = alloc.allocate(&mut state, &mut ctx);
+                prop_assert!(!live.contains(&ptr), "pointer {ptr:#x} double-allocated");
+                prop_assert!(alloc.is_live(ptr));
+                live.push(ptr);
+            } else {
+                let ptr = live.swap_remove(live.len() / 2);
+                alloc.deallocate(ptr, &mut ctx);
+                prop_assert!(!alloc.is_live(ptr));
+            }
+        }
+        prop_assert_eq!(alloc.allocated_slabs(), live.len() as u64);
+    }
+
+    /// The universal hash stays in range and is deterministic for any
+    /// parameters.
+    #[test]
+    fn universal_hash_in_range(seed in any::<u64>(), buckets in 1u32..1_000_000, key in 0u32..=MAX_KEY) {
+        let h = UniversalHash::new(seed, buckets);
+        let b = h.bucket(key);
+        prop_assert!(b < buckets);
+        prop_assert_eq!(b, UniversalHash::new(seed, buckets).bucket(key));
+    }
+
+    /// Warp ballots and ffs agree with a scalar reference implementation.
+    #[test]
+    fn ballot_ffs_reference(values in proptest::array::uniform32(0u32..4)) {
+        let mask = simt::ballot_eq(&values, 2);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(mask & (1 << i) != 0, v == 2);
+        }
+        let expected_first = values.iter().position(|&v| v == 2);
+        prop_assert_eq!(simt::ffs(mask), expected_first);
+    }
+
+    /// pack/unpack of key-value pairs is lossless.
+    #[test]
+    fn pair_codec_roundtrip(k in any::<u32>(), v in any::<u32>()) {
+        prop_assert_eq!(simt::unpack_pair(simt::pack_pair(k, v)), (k, v));
+    }
+}
