@@ -7,10 +7,11 @@
 //! batches (the concurrent benchmark's Γ distributions) use
 //! [`SlabHash::execute_batch`] directly with heterogeneous requests.
 
-use simt::{Grid, LaunchReport};
+use simt::{Grid, LaunchError, LaunchReport};
 use slab_alloc::SlabAllocator;
 
 use crate::entry::EntryLayout;
+use crate::error::TableError;
 use crate::hash_table::SlabHash;
 use crate::ops::{OpResult, Request};
 
@@ -18,8 +19,31 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
     /// Executes an arbitrary batch of requests, one per simulated GPU
     /// thread, 32 threads per warp, warps scheduled concurrently over
     /// `grid`. Results are written into each request.
+    ///
+    /// Resource failures (allocator exhaustion, burned retry budgets) land
+    /// in the affected requests as [`OpResult::Failed`]; unaffected
+    /// requests complete normally. A *panicking* warp unwinds through this
+    /// call — use [`SlabHash::try_execute_batch`] to contain it.
     pub fn execute_batch(&self, reqs: &mut [Request], grid: &Grid) -> LaunchReport {
         grid.launch(reqs, |ctx, chunk| {
+            let mut alloc_state = self.allocator().new_warp_state();
+            self.process_warp(ctx, &mut alloc_state, chunk);
+        })
+    }
+
+    /// Like [`SlabHash::execute_batch`], but contains warp panics: the
+    /// first panicking warp is returned as a structured
+    /// [`simt::LaunchError`] (queued warps stop, in-flight warps drain)
+    /// instead of unwinding through the scheduler.
+    ///
+    /// # Errors
+    /// The first warp panic observed during the launch.
+    pub fn try_execute_batch(
+        &self,
+        reqs: &mut [Request],
+        grid: &Grid,
+    ) -> Result<LaunchReport, LaunchError> {
+        grid.try_launch(reqs, |ctx, chunk| {
             let mut alloc_state = self.allocator().new_warp_state();
             self.process_warp(ctx, &mut alloc_state, chunk);
         })
@@ -31,6 +55,26 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
     pub fn bulk_build(&self, pairs: &[(u32, u32)], grid: &Grid) -> LaunchReport {
         let mut reqs: Vec<Request> = pairs.iter().map(|&(k, v)| Request::replace(k, v)).collect();
         self.execute_batch(&mut reqs, grid)
+    }
+
+    /// Bulk REPLACE build that surfaces the first structured failure.
+    /// Requests that completed before (or despite) the failure remain
+    /// applied — the table is consistent and auditable either way; only
+    /// the failed requests had no effect.
+    ///
+    /// # Errors
+    /// The first [`TableError`] any request hit (by batch order).
+    pub fn try_bulk_build(
+        &self,
+        pairs: &[(u32, u32)],
+        grid: &Grid,
+    ) -> Result<LaunchReport, TableError> {
+        let mut reqs: Vec<Request> = pairs.iter().map(|&(k, v)| Request::replace(k, v)).collect();
+        let report = self.execute_batch(&mut reqs, grid);
+        match reqs.iter().find_map(|r| r.result.as_error()) {
+            None => Ok(report),
+            Some(e) => Err(e),
+        }
     }
 
     /// Bulk insertion of keys only (key-only layout convenience; values are

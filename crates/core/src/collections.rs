@@ -20,6 +20,7 @@ use simt::{Grid, LaunchReport};
 
 use crate::driver::WarpDriver;
 use crate::entry::{KeyOnly, KeyValue};
+use crate::error::TableError;
 use crate::hash_table::{SlabHash, SlabHashConfig};
 use crate::ops::{OpResult, Request};
 
@@ -75,6 +76,16 @@ impl SlabMap {
         self.table.bulk_build(pairs, grid)
     }
 
+    /// Like [`SlabMap::extend`], but surfaces the first structured failure
+    /// (allocator exhaustion, burned retry budget) instead of leaving it
+    /// buried in per-request results. Pairs that completed remain applied.
+    ///
+    /// # Errors
+    /// The first [`TableError`] any insertion hit.
+    pub fn try_extend(&self, pairs: &[(u32, u32)], grid: &Grid) -> Result<LaunchReport, TableError> {
+        self.table.try_bulk_build(pairs, grid)
+    }
+
     /// Looks up many keys concurrently.
     pub fn get_many(&self, keys: &[u32], grid: &Grid) -> Vec<Option<u32>> {
         self.table.bulk_search(keys, grid).0
@@ -113,8 +124,21 @@ impl SlabMap {
 
 impl SlabMapHandle<'_> {
     /// Inserts or updates; returns the previous value.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`]; use [`SlabMapHandle::checked_insert`]
+    /// to recover instead.
     pub fn insert(&mut self, key: u32, value: u32) -> Option<u32> {
         self.warp.replace(key, value)
+    }
+
+    /// Fallible insert-or-update; returns the previous value.
+    ///
+    /// # Errors
+    /// The [`TableError`] when the insertion could not complete; the map
+    /// is consistent and holds whatever the key mapped to before.
+    pub fn checked_insert(&mut self, key: u32, value: u32) -> Result<Option<u32>, TableError> {
+        self.warp.checked_replace(key, value)
     }
 
     /// Looks up a key.
@@ -231,8 +255,27 @@ impl SlabSet {
 
 impl SlabSetHandle<'_> {
     /// Adds a key; `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`]; use [`SlabSetHandle::checked_insert`]
+    /// to recover instead.
     pub fn insert(&mut self, key: u32) -> bool {
-        matches!(self.warp.run(Request::replace(key, 0)), OpResult::Inserted)
+        self.checked_insert(key)
+            .unwrap_or_else(|e| panic!("set insert({key}) failed: {e}"))
+    }
+
+    /// Fallible insert; `true` if the key was new.
+    ///
+    /// # Errors
+    /// The [`TableError`] when the insertion could not complete; the set
+    /// membership is unchanged.
+    pub fn checked_insert(&mut self, key: u32) -> Result<bool, TableError> {
+        match self.warp.run(Request::replace(key, 0)) {
+            OpResult::Inserted => Ok(true),
+            OpResult::Replaced(_) => Ok(false),
+            OpResult::Failed(e) => Err(e),
+            other => unreachable!("set insert returned {other:?}"),
+        }
     }
 
     /// Membership test.
@@ -311,9 +354,22 @@ impl SlabMultiMap {
 
 impl SlabMultiMapHandle<'_> {
     /// Adds one (key, value) element (duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`]; use
+    /// [`SlabMultiMapHandle::checked_insert`] to recover instead.
     pub fn insert(&mut self, key: u32, value: u32) {
-        let r = self.warp.insert(key, value);
-        debug_assert_eq!(r, OpResult::Inserted);
+        self.checked_insert(key, value)
+            .unwrap_or_else(|e| panic!("multimap insert({key}) failed: {e}"))
+    }
+
+    /// Fallible insert of one (key, value) element.
+    ///
+    /// # Errors
+    /// The [`TableError`] when the insertion could not complete; the
+    /// multimap is consistent and the element was not added.
+    pub fn checked_insert(&mut self, key: u32, value: u32) -> Result<(), TableError> {
+        self.warp.checked_insert(key, value)
     }
 
     /// Appends through the tail hint (fast for very long per-key chains).

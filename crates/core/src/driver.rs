@@ -12,6 +12,7 @@ use simt::{PerfCounters, WarpCtx};
 use slab_alloc::{SlabAlloc, SlabAllocator};
 
 use crate::entry::EntryLayout;
+use crate::error::TableError;
 use crate::hash_table::SlabHash;
 use crate::ops::{OpResult, Request};
 
@@ -56,36 +57,89 @@ impl<'t, L: EntryLayout, A: SlabAllocator> WarpDriver<'t, L, A> {
         self.run(Request::insert(key, value))
     }
 
+    /// Fallible INSERT(k, v): surfaces allocator exhaustion / a burned
+    /// retry budget as a structured error instead of an [`OpResult`].
+    ///
+    /// # Errors
+    /// The [`TableError`] when the insertion could not complete; the table
+    /// is consistent and the element was not inserted.
+    pub fn checked_insert(&mut self, key: u32, value: u32) -> Result<(), TableError> {
+        match self.run(Request::insert(key, value)) {
+            OpResult::Failed(e) => Err(e),
+            OpResult::Inserted => Ok(()),
+            other => unreachable!("insert returned {other:?}"),
+        }
+    }
+
     /// INSERT(k, v) via the base slab's tail hint (§III-C extension).
     pub fn insert_tail(&mut self, key: u32, value: u32) -> OpResult {
         self.run(Request::insert_tail(key, value))
     }
 
     /// REPLACE(k, v); returns the previous value if the key existed.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`] (allocator exhausted, retry budget
+    /// burned); use [`WarpDriver::checked_replace`] to recover instead.
     pub fn replace(&mut self, key: u32, value: u32) -> Option<u32> {
+        self.checked_replace(key, value)
+            .unwrap_or_else(|e| panic!("REPLACE({key}) failed: {e}"))
+    }
+
+    /// Fallible REPLACE(k, v); returns the previous value if the key
+    /// existed.
+    ///
+    /// # Errors
+    /// The [`TableError`] when the operation could not complete; the table
+    /// is consistent and holds whatever value the key had before.
+    pub fn checked_replace(&mut self, key: u32, value: u32) -> Result<Option<u32>, TableError> {
         match self.run(Request::replace(key, value)) {
-            OpResult::Replaced(old) => Some(old),
-            OpResult::Inserted => None,
+            OpResult::Replaced(old) => Ok(Some(old)),
+            OpResult::Inserted => Ok(None),
+            OpResult::Failed(e) => Err(e),
             other => unreachable!("replace returned {other:?}"),
         }
     }
 
     /// REPLACE(k, v), strict §III-B2 full-scan variant; returns the previous
     /// value if the key existed.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`]; use
+    /// [`WarpDriver::checked_replace_strict`] to recover instead.
     pub fn replace_strict(&mut self, key: u32, value: u32) -> Option<u32> {
+        self.checked_replace_strict(key, value)
+            .unwrap_or_else(|e| panic!("REPLACE_STRICT({key}) failed: {e}"))
+    }
+
+    /// Fallible strict REPLACE(k, v).
+    ///
+    /// # Errors
+    /// The [`TableError`] when the operation could not complete.
+    pub fn checked_replace_strict(
+        &mut self,
+        key: u32,
+        value: u32,
+    ) -> Result<Option<u32>, TableError> {
         match self.run(Request::replace_strict(key, value)) {
-            OpResult::Replaced(old) => Some(old),
-            OpResult::Inserted => None,
+            OpResult::Replaced(old) => Ok(Some(old)),
+            OpResult::Inserted => Ok(None),
+            OpResult::Failed(e) => Err(e),
             other => unreachable!("replace_strict returned {other:?}"),
         }
     }
 
     /// TRYINSERT(k, v): inserts only if absent. `Ok(())` on insertion,
     /// `Err(existing_value)` when the key is already present.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`] (resource failure, as opposed to the
+    /// key being present, which is the `Err(existing)` return).
     pub fn try_insert(&mut self, key: u32, value: u32) -> Result<(), u32> {
         match self.run(Request::try_insert(key, value)) {
             OpResult::Inserted => Ok(()),
             OpResult::Found(existing) => Err(existing),
+            OpResult::Failed(e) => panic!("TRYINSERT({key}) failed: {e}"),
             other => unreachable!("try_insert returned {other:?}"),
         }
     }
@@ -94,6 +148,9 @@ impl<'t, L: EntryLayout, A: SlabAllocator> WarpDriver<'t, L, A> {
     /// iff it equals `expected`. `Ok(expected)` on success;
     /// `Err(Some(actual))` on comparand mismatch; `Err(None)` when the key
     /// is absent. Key–value layout only.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`].
     pub fn compare_exchange(
         &mut self,
         key: u32,
@@ -104,6 +161,7 @@ impl<'t, L: EntryLayout, A: SlabAllocator> WarpDriver<'t, L, A> {
             OpResult::Replaced(prev) => Ok(prev),
             OpResult::Found(actual) => Err(Some(actual)),
             OpResult::NotFound => Err(None),
+            OpResult::Failed(e) => panic!("COMPAREEXCHANGE({key}) failed: {e}"),
             other => unreachable!("compare_exchange returned {other:?}"),
         }
     }
@@ -127,18 +185,37 @@ impl<'t, L: EntryLayout, A: SlabAllocator> WarpDriver<'t, L, A> {
     }
 
     /// DELETE(k): tombstones the first instance; returns its value.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`]; use [`WarpDriver::checked_delete`] to
+    /// recover instead.
     pub fn delete(&mut self, key: u32) -> Option<u32> {
+        self.checked_delete(key)
+            .unwrap_or_else(|e| panic!("DELETE({key}) failed: {e}"))
+    }
+
+    /// Fallible DELETE(k).
+    ///
+    /// # Errors
+    /// The [`TableError`] when the operation could not complete; the
+    /// element (if present) is untouched.
+    pub fn checked_delete(&mut self, key: u32) -> Result<Option<u32>, TableError> {
         match self.run(Request::delete(key)) {
-            OpResult::Deleted(v) => Some(v),
-            OpResult::NotFound => None,
+            OpResult::Deleted(v) => Ok(Some(v)),
+            OpResult::NotFound => Ok(None),
+            OpResult::Failed(e) => Err(e),
             other => unreachable!("delete returned {other:?}"),
         }
     }
 
     /// DELETEALL(k): tombstones every instance; returns how many.
+    ///
+    /// # Panics
+    /// Panics on a [`TableError`].
     pub fn delete_all(&mut self, key: u32) -> u32 {
         match self.run(Request::delete_all(key)) {
             OpResult::DeletedCount(n) => n,
+            OpResult::Failed(e) => panic!("DELETEALL({key}) failed: {e}"),
             other => unreachable!("delete_all returned {other:?}"),
         }
     }

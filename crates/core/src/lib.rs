@@ -46,6 +46,7 @@ pub mod bulk;
 pub mod collections;
 pub mod driver;
 pub mod entry;
+pub mod error;
 pub mod flush;
 pub mod hash_table;
 pub mod hasher;
@@ -56,9 +57,10 @@ pub mod stats;
 
 pub use driver::WarpDriver;
 pub use entry::{EntryLayout, KeyOnly, KeyValue, DELETED_KEY, EMPTY_KEY, MAX_KEY};
+pub use error::TableError;
 pub use flush::FlushReport;
 pub use hash_table::{buckets_for_utilization, SlabHash, SlabHashConfig};
 pub use hasher::UniversalHash;
-pub use ops::{OpKind, OpResult, Request};
+pub use ops::{OpKind, OpResult, Request, RETRY_BUDGET};
 pub use slab_list::SlabList;
 pub use stats::AuditReport;

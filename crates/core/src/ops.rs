@@ -19,7 +19,17 @@ use simt::WarpCtx;
 use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR};
 
 use crate::entry::{validate_key, EntryLayout, ADDRESS_LANE, DELETED_KEY, EMPTY_KEY};
+use crate::error::TableError;
 use crate::hash_table::SlabHash;
+
+/// How many lost CAS attempts one request tolerates before it fails with
+/// [`TableError::RetryBudgetExhausted`] instead of spinning forever.
+///
+/// Legitimate contention loses a CAS at most once per concurrent
+/// competitor, so even the most adversarial tests stay orders of magnitude
+/// below this; only a genuine livelock (or a fault plan injecting failures
+/// at probability 1) can burn through it.
+pub const RETRY_BUDGET: u32 = 4096;
 
 /// The operation a lane requests (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,12 +99,26 @@ pub enum OpResult {
     DeletedCount(u32),
     /// SEARCHALL hit; carries every matching value in traversal order.
     FoundAll(Vec<u32>),
+    /// The operation could not complete (allocator exhausted, retry budget
+    /// burned); the table is consistent and the request had no effect.
+    Failed(TableError),
 }
 
 impl OpResult {
     /// True for outcomes that found / created / removed something.
     pub fn is_success(&self) -> bool {
-        !matches!(self, OpResult::Pending | OpResult::NotFound)
+        !matches!(
+            self,
+            OpResult::Pending | OpResult::NotFound | OpResult::Failed(_)
+        )
+    }
+
+    /// The structured error for `Failed`, else `None`.
+    pub fn as_error(&self) -> Option<TableError> {
+        match self {
+            OpResult::Failed(e) => Some(*e),
+            _ => None,
+        }
     }
 
     /// The found value for `Found`, else `None`.
@@ -275,6 +299,8 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         // ReplaceStrict phase flags: false = scanning the whole list for the
         // key, true = inserting from the tail.
         let mut strict_inserting = [false; WARP_SIZE];
+        // Lost-CAS count per request, against RETRY_BUDGET.
+        let mut retries = [0u32; WARP_SIZE];
 
         let mut next = BASE_SLAB;
         let mut last_work_queue = 0u32;
@@ -305,6 +331,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                 ctx.counters.ops += 1;
             };
 
+            let cas_failures_before = ctx.counters.cas_failures;
             match kinds[src_lane] {
                 OpKind::Search => {
                     let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
@@ -357,8 +384,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             finish(reqs, &mut active, ctx, result);
                         }
                         // CAS lost: retry — re-read the same slab next round.
-                    } else {
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    } else if let Err(e) =
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                    {
+                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
                     }
                 }
 
@@ -403,14 +432,14 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             ) {
                                 finish(reqs, &mut active, ctx, result);
                             }
-                        } else {
-                            self.follow_or_allocate(
-                                ctx,
-                                alloc_state,
-                                src_bucket,
-                                &mut next,
-                                &read_data,
-                            );
+                        } else if let Err(e) = self.follow_or_allocate(
+                            ctx,
+                            alloc_state,
+                            src_bucket,
+                            &mut next,
+                            &read_data,
+                        ) {
+                            finish(reqs, &mut active, ctx, OpResult::Failed(e));
                         }
                     }
                 }
@@ -435,8 +464,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         ) {
                             finish(reqs, &mut active, ctx, result);
                         }
-                    } else {
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    } else if let Err(e) =
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                    {
+                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
                     }
                 }
 
@@ -466,8 +497,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                     {
                         // Shuffle the tail hint from the aux lane and jump.
                         next = read_data[crate::entry::AUX_LANE];
-                    } else {
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    } else if let Err(e) =
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                    {
+                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
                     }
                 }
 
@@ -501,8 +534,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             finish(reqs, &mut active, ctx, mapped);
                         }
                         // CAS lost: re-read and retry.
-                    } else {
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data);
+                    } else if let Err(e) =
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                    {
+                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
                     }
                 }
 
@@ -517,6 +552,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         if observed != expecteds[src_lane] {
                             // Comparand mismatch: fail with the actual value.
                             finish(reqs, &mut active, ctx, OpResult::Found(observed));
+                        } else if simt::chaos::should_fail_cas() {
+                            // Injected loss: treated as a race, re-evaluated
+                            // next round.
+                            ctx.counters.cas_failures += 1;
                         } else {
                             let loc = self.slab_loc(src_bucket, next, ctx);
                             let expected_pair = pack_pair(src_key, observed);
@@ -571,6 +610,24 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
 
                 OpKind::None => unreachable!("idle lanes never enter the work queue"),
             }
+
+            // Bound the retry loop: every lost (or injected) CAS in this
+            // round was on behalf of the source lane's request; a request
+            // that burns the whole budget fails instead of livelocking.
+            if active[src_lane] && ctx.counters.cas_failures > cas_failures_before {
+                retries[src_lane] += (ctx.counters.cas_failures - cas_failures_before) as u32;
+                if retries[src_lane] > RETRY_BUDGET {
+                    ctx.counters.retry_exhaustions += 1;
+                    finish(
+                        reqs,
+                        &mut active,
+                        ctx,
+                        OpResult::Failed(TableError::RetryBudgetExhausted {
+                            budget: RETRY_BUDGET,
+                        }),
+                    );
+                }
+            }
         }
     }
 
@@ -592,6 +649,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         value: u32,
         reuse_deleted: bool,
     ) -> Option<OpResult> {
+        // Fault injection happens here, not in the storage layer: reporting
+        // "lost" without performing the CAS is exactly the retry path the
+        // caller already handles (re-read the slab next round).
+        if simt::chaos::should_fail_cas() {
+            ctx.counters.cas_failures += 1;
+            return None;
+        }
         let observed_key = read_data[dest];
         debug_assert!(
             observed_key == EMPTY_KEY
@@ -653,6 +717,11 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         read_data: &[u32; WARP_SIZE],
         key: u32,
     ) -> Option<u32> {
+        // Same retry-safe injection point as `try_claim_slot`.
+        if simt::chaos::should_fail_cas() {
+            ctx.counters.cas_failures += 1;
+            return None;
+        }
         let loc = self.slab_loc(bucket, ptr, ctx);
         if L::HAS_VALUES {
             let observed_value = read_data[L::value_lane(dest)];
@@ -684,6 +753,12 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
     /// the tail if needed (Fig. 2 lines 41–52). On a lost link CAS the
     /// freshly allocated slab is returned to the allocator and traversal
     /// continues into the winner's slab.
+    ///
+    /// # Errors
+    /// [`TableError::OutOfSlabs`] when the allocator cannot serve the slab.
+    /// Nothing is published on failure — the allocation either never
+    /// happened or never reached the link CAS — so the chain is exactly as
+    /// the caller read it and the table stays consistent.
     fn follow_or_allocate(
         &self,
         ctx: &mut WarpCtx,
@@ -691,13 +766,16 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         bucket: u32,
         next: &mut u32,
         read_data: &[u32; WARP_SIZE],
-    ) {
+    ) -> Result<(), TableError> {
         let next_ptr = read_data[ADDRESS_LANE];
         if next_ptr != EMPTY_PTR {
             *next = next_ptr;
-            return;
+            return Ok(());
         }
-        let new_slab = self.allocator().allocate(alloc_state, ctx);
+        let new_slab = self
+            .allocator()
+            .try_allocate(alloc_state, ctx)
+            .map_err(TableError::OutOfSlabs)?;
         let loc = self.slab_loc(bucket, *next, ctx);
         let old = loc.storage.cas_lane(
             loc.slab,
@@ -728,6 +806,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             self.allocator().deallocate(new_slab, ctx);
             *next = old;
         }
+        Ok(())
     }
 }
 
@@ -1044,6 +1123,153 @@ mod tests {
         assert_eq!(Request::search_all(1).op, OpKind::SearchAll);
         assert_eq!(Request::delete(1).op, OpKind::Delete);
         assert_eq!(Request::delete_all(1).op, OpKind::DeleteAll);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::entry::KeyValue;
+    use crate::error::TableError;
+    use crate::hash_table::SlabHashConfig;
+    use crate::WarpDriver;
+    use slab_alloc::{AllocError, SerialHeapSim};
+
+    /// A single-bucket table over a `capacity`-slab allocator: base slab
+    /// (15 pairs) plus at most `capacity` chained slabs of 15 pairs each.
+    fn tiny_table(capacity: usize) -> SlabHash<KeyValue, SerialHeapSim> {
+        SlabHash::with_allocator(
+            SlabHashConfig::with_buckets(1),
+            SerialHeapSim::new(capacity, EMPTY_KEY),
+        )
+    }
+
+    #[test]
+    fn exhaustion_fails_the_op_and_preserves_prior_keys() {
+        let t = tiny_table(2); // 15 + 2*15 = 45 pairs, the 46th must fail
+        let mut w = WarpDriver::new(&t);
+        let mut inserted = Vec::new();
+        let mut failure = None;
+        for k in 0..100u32 {
+            match w.checked_replace(k, k + 1) {
+                Ok(None) => inserted.push(k),
+                Ok(Some(_)) => unreachable!("keys are unique"),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            failure,
+            Some(TableError::OutOfSlabs(AllocError::OutOfSlabs {
+                allocated: 2,
+                capacity: 2,
+            }))
+        );
+        assert_eq!(inserted.len(), 45);
+        // Every previously inserted key is still searchable...
+        for &k in &inserted {
+            assert_eq!(w.search(k), Some(k + 1), "key {k} lost after failure");
+        }
+        // ...and the failure published nothing: chained == allocated.
+        let audit = t.audit().unwrap();
+        assert_eq!(audit.live_elements, 45);
+        assert!(audit.no_leaks(), "failed insert leaked a slab: {audit:?}");
+    }
+
+    #[test]
+    fn exhausted_table_recovers_through_tombstone_reuse() {
+        let t = tiny_table(1);
+        let mut w = WarpDriver::new(&t);
+        while w.checked_replace(w.counters().ops as u32, 0).is_ok() {}
+        // The allocator is dry, but INSERT reuses tombstones: freeing one
+        // slot is enough for the next insertion to succeed without a slab.
+        assert!(w.checked_insert(10_000, 1).is_err());
+        w.delete(0).expect("key 0 was inserted");
+        w.checked_insert(10_000, 1)
+            .expect("tombstone reuse needs no allocation");
+        assert_eq!(w.search(10_000), Some(1));
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn partial_batch_failure_leaves_completed_requests_applied() {
+        let t = tiny_table(1); // 30 pairs max
+        let mut w = WarpDriver::new(&t);
+        let mut batch: Vec<Request> = (0..32u32).map(|k| Request::replace(k, k)).collect();
+        w.execute(&mut batch);
+        let ok = batch
+            .iter()
+            .filter(|r| r.result == OpResult::Inserted)
+            .count();
+        let failed = batch
+            .iter()
+            .filter(|r| matches!(r.result, OpResult::Failed(TableError::OutOfSlabs(_))))
+            .count();
+        assert_eq!(ok, 30);
+        assert_eq!(failed, 2, "the overflowing requests fail, others apply");
+        assert_eq!(t.len(), 30);
+        assert!(t.audit().unwrap().no_leaks());
+    }
+
+    #[test]
+    fn injected_cas_storm_burns_the_retry_budget() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(2));
+        let mut w = WarpDriver::new(&t);
+        let guard = simt::ChaosGuard::plan(
+            simt::FaultPlan::seeded(0x0BAD_CA55).with_cas_failures(1.0),
+        );
+        let err = w
+            .checked_replace(1, 2)
+            .expect_err("every CAS fails: the op must give up, not livelock");
+        assert_eq!(
+            err,
+            TableError::RetryBudgetExhausted {
+                budget: RETRY_BUDGET
+            }
+        );
+        assert_eq!(w.counters().retry_exhaustions, 1, "billed to counters");
+        assert!(w.counters().cas_failures > RETRY_BUDGET as u64);
+        drop(guard);
+        // With the fault plan gone the same op succeeds immediately.
+        assert_eq!(w.checked_replace(1, 2), Ok(None));
+        assert_eq!(w.search(1), Some(2));
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn injected_delete_failures_also_bounded() {
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(2));
+        let mut w = WarpDriver::new(&t);
+        w.replace(7, 70);
+        let _guard = simt::ChaosGuard::plan(
+            simt::FaultPlan::seeded(0xD_E1E7E).with_cas_failures(1.0),
+        );
+        assert_eq!(
+            w.checked_delete(7),
+            Err(TableError::RetryBudgetExhausted {
+                budget: RETRY_BUDGET
+            })
+        );
+        drop(_guard);
+        assert_eq!(w.search(7), Some(70), "failed delete left the element");
+        assert_eq!(w.checked_delete(7), Ok(Some(70)));
+    }
+
+    #[test]
+    fn per_thread_path_surfaces_alloc_failure() {
+        let t = tiny_table(1);
+        let mut ctx = WarpCtx::for_test(0);
+        let mut reqs: Vec<Request> = (0..32u32).map(|k| Request::replace(k, k)).collect();
+        t.process_warp_per_thread(&mut ctx, &mut (), &mut reqs);
+        let failed = reqs
+            .iter()
+            .filter(|r| matches!(r.result, OpResult::Failed(TableError::OutOfSlabs(_))))
+            .count();
+        assert_eq!(failed, 2, "31st and 32nd key cannot fit in 30 slots");
+        assert_eq!(t.len(), 30);
+        t.audit().unwrap();
     }
 }
 

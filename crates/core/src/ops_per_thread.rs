@@ -14,6 +14,7 @@ use simt::WarpCtx;
 use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR};
 
 use crate::entry::{validate_key, EntryLayout, ADDRESS_LANE, EMPTY_KEY};
+use crate::error::TableError;
 use crate::hash_table::SlabHash;
 use crate::ops::{OpKind, OpResult, Request};
 
@@ -152,7 +153,11 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                 ptr = next;
                 continue;
             }
-            let new_slab = self.allocator().allocate(alloc_state, ctx);
+            let new_slab = match self.allocator().try_allocate(alloc_state, ctx) {
+                Ok(ptr) => ptr,
+                // Nothing published: the request simply had no effect.
+                Err(e) => return OpResult::Failed(TableError::OutOfSlabs(e)),
+            };
             let loc = self.slab_loc(bucket, ptr, ctx);
             ctx.counters.divergent_steps += 1;
             let old = loc.storage.cas_lane(

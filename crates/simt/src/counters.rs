@@ -49,6 +49,10 @@ pub struct PerfCounters {
     /// Acquisitions of a device-wide serializing lock (only the CUDA-malloc
     /// baseline allocator uses one; billed at the paper's measured cost).
     pub lock_acquisitions: u64,
+    /// Operations that burned through their bounded retry budget and were
+    /// failed with `RetryBudgetExhausted` instead of spinning forever
+    /// (livelock detector; normally 0).
+    pub retry_exhaustions: u64,
 }
 
 impl PerfCounters {
@@ -69,6 +73,7 @@ impl PerfCounters {
         self.divergent_steps += other.divergent_steps;
         self.shared_lookups += other.shared_lookups;
         self.lock_acquisitions += other.lock_acquisitions;
+        self.retry_exhaustions += other.retry_exhaustions;
     }
 
     /// Total bytes moved through the memory system under the transaction
@@ -147,6 +152,7 @@ mod tests {
             divergent_steps: 11,
             shared_lookups: 12,
             lock_acquisitions: 13,
+            retry_exhaustions: 15,
         };
         let doubled = a + a;
         assert_eq!(doubled.slab_reads, 2);
@@ -163,6 +169,7 @@ mod tests {
         assert_eq!(doubled.divergent_steps, 22);
         assert_eq!(doubled.shared_lookups, 24);
         assert_eq!(doubled.lock_acquisitions, 26);
+        assert_eq!(doubled.retry_exhaustions, 30);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! algorithms (CAS retries, allocate-then-link races, delete/search
 //! interleavings) is exercised for real, not emulated.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::counters::PerfCounters;
@@ -62,6 +64,61 @@ impl LaunchReport {
     }
 }
 
+/// A contained warp panic from [`Grid::try_launch`] /
+/// [`Grid::try_launch_warps`].
+///
+/// Exactly one panicking warp is reported (the first observed); the
+/// scheduler's poison flag keeps remaining warps from *starting* after the
+/// panic, while warps already in flight drain normally and are counted in
+/// [`completed_warps`](Self::completed_warps).
+pub struct LaunchError {
+    /// Warp id of the (first) panicking warp.
+    pub warp_id: usize,
+    /// The panic payload, as `std::thread::JoinHandle::join` would return
+    /// it.
+    pub payload: Box<dyn Any + Send + 'static>,
+    /// Warps that ran to completion before the launch was abandoned.
+    pub completed_warps: usize,
+}
+
+impl LaunchError {
+    /// The panic message, when the payload was a string (the common case).
+    pub fn message(&self) -> Option<&str> {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            Some(s)
+        } else {
+            self.payload.downcast_ref::<String>().map(String::as_str)
+        }
+    }
+
+    /// Re-raises the contained panic on the calling thread.
+    pub fn resume_unwind(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaunchError")
+            .field("warp_id", &self.warp_id)
+            .field("completed_warps", &self.completed_warps)
+            .field("message", &self.message().unwrap_or("<non-string panic payload>"))
+            .finish()
+    }
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "warp {} panicked ({}); {} warps completed",
+            self.warp_id,
+            self.message().unwrap_or("non-string panic payload"),
+            self.completed_warps
+        )
+    }
+}
+
 /// The warp scheduler: a fixed-width pool of OS threads standing in for the
 /// GPU's SMs.
 #[derive(Debug, Clone)]
@@ -105,7 +162,28 @@ impl Grid {
     /// `kernel` is invoked once per warp with the warp's up-to-32 work items;
     /// the final (partial) warp simply has fewer. This mirrors CUDA's
     /// `if (tid < n)` guard: inactive lanes exist but carry no work.
+    ///
+    /// A panicking warp is re-raised on the calling thread (after in-flight
+    /// warps drain); use [`Grid::try_launch`] to contain it instead.
     pub fn launch<T, F>(&self, items: &mut [T], kernel: F) -> LaunchReport
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &mut [T]) + Sync,
+    {
+        match self.try_launch(items, kernel) {
+            Ok(report) => report,
+            Err(e) => e.resume_unwind(),
+        }
+    }
+
+    /// Like [`Grid::launch`], but contains warp panics: the first panicking
+    /// warp poisons the launch (queued warps stop being picked up, in-flight
+    /// warps drain) and is returned as a structured [`LaunchError`] instead
+    /// of unwinding through the scheduler.
+    ///
+    /// # Errors
+    /// Returns the first warp panic observed.
+    pub fn try_launch<T, F>(&self, items: &mut [T], kernel: F) -> Result<LaunchReport, LaunchError>
     where
         T: Send,
         F: Fn(&mut WarpCtx, &mut [T]) + Sync,
@@ -114,49 +192,81 @@ impl Grid {
         let chunks: Vec<(usize, &mut [T])> = items.chunks_mut(WARP_SIZE).enumerate().collect();
         let warps = chunks.len();
         let queue = parking_lot::Mutex::new(chunks.into_iter());
+        let containment = Containment::default();
         let counters = self.run_warps(warps, |warp_ctx| loop {
+            if containment.poisoned() {
+                break;
+            }
             let next = queue.lock().next();
             match next {
                 Some((warp_id, chunk)) => {
                     warp_ctx.warp_id = warp_id;
-                    kernel(warp_ctx, chunk);
+                    if !containment.run_warp(warp_id, || kernel(warp_ctx, chunk)) {
+                        break;
+                    }
                 }
                 None => break,
             }
         });
-        LaunchReport {
+        containment.into_result(LaunchReport {
             counters,
             wall: start.elapsed(),
             warps,
-        }
+        })
     }
 
     /// Launches a kernel of `num_warps` warps with no attached work items;
     /// each warp receives its warp id through the context. Used by
     /// whole-bucket kernels such as FLUSH and by allocator stress tests.
+    ///
+    /// A panicking warp is re-raised on the calling thread (after in-flight
+    /// warps drain); use [`Grid::try_launch_warps`] to contain it instead.
     pub fn launch_warps<F>(&self, num_warps: usize, kernel: F) -> LaunchReport
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        match self.try_launch_warps(num_warps, kernel) {
+            Ok(report) => report,
+            Err(e) => e.resume_unwind(),
+        }
+    }
+
+    /// Like [`Grid::launch_warps`], but contains warp panics (see
+    /// [`Grid::try_launch`]).
+    ///
+    /// # Errors
+    /// Returns the first warp panic observed.
+    pub fn try_launch_warps<F>(&self, num_warps: usize, kernel: F) -> Result<LaunchReport, LaunchError>
     where
         F: Fn(&mut WarpCtx) + Sync,
     {
         let start = Instant::now();
         let next_warp = AtomicUsize::new(0);
+        let containment = Containment::default();
         let counters = self.run_warps(num_warps, |warp_ctx| loop {
+            if containment.poisoned() {
+                break;
+            }
             let warp_id = next_warp.fetch_add(1, Ordering::Relaxed);
             if warp_id >= num_warps {
                 break;
             }
             warp_ctx.warp_id = warp_id;
-            kernel(warp_ctx);
+            if !containment.run_warp(warp_id, || kernel(warp_ctx)) {
+                break;
+            }
         });
-        LaunchReport {
+        containment.into_result(LaunchReport {
             counters,
             wall: start.elapsed(),
             warps: num_warps,
-        }
+        })
     }
 
     /// Spawns the executor threads, runs `body` on each with a fresh warp
-    /// context, and merges the resulting counters.
+    /// context, and merges the resulting counters. Bodies must not unwind
+    /// (the `try_` launch entry points catch per-warp panics before they
+    /// reach here).
     fn run_warps<B>(&self, expected_warps: usize, body: B) -> PerfCounters
     where
         B: Fn(&mut WarpCtx) + Sync,
@@ -172,9 +282,14 @@ impl Grid {
             return ctx.counters;
         }
         let merged = parking_lot::Mutex::new(PerfCounters::default());
+        // Failure injection is enrolled per thread; executors inherit the
+        // launching thread's enrollment so faults reach exactly the kernels
+        // launched under a ChaosGuard (and never a sibling test's).
+        let enrolled = crate::chaos::thread_participates();
         std::thread::scope(|scope| {
             for _ in 0..executors {
                 scope.spawn(|| {
+                    let _enroll = crate::chaos::participate_if(enrolled);
                     let mut ctx = WarpCtx {
                         warp_id: usize::MAX,
                         counters: PerfCounters::default(),
@@ -185,6 +300,54 @@ impl Grid {
             }
         });
         merged.into_inner()
+    }
+}
+
+/// Shared panic-containment state for one `try_` launch: the poison flag,
+/// the completed-warp count, and the first captured panic.
+#[derive(Default)]
+struct Containment {
+    poisoned: AtomicBool,
+    completed: AtomicUsize,
+    failure: parking_lot::Mutex<Option<(usize, Box<dyn Any + Send + 'static>)>>,
+}
+
+impl Containment {
+    /// True once any warp has panicked; executors drain without starting
+    /// new work.
+    fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Runs one warp body, catching a panic. Returns `false` when the
+    /// executor should stop (this warp panicked).
+    fn run_warp(&self, warp_id: usize, warp_body: impl FnOnce()) -> bool {
+        match catch_unwind(AssertUnwindSafe(warp_body)) {
+            Ok(()) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(payload) => {
+                self.poisoned.store(true, Ordering::Release);
+                let mut slot = self.failure.lock();
+                if slot.is_none() {
+                    *slot = Some((warp_id, payload));
+                }
+                false
+            }
+        }
+    }
+
+    /// Converts the containment outcome into the launch result.
+    fn into_result(self, report: LaunchReport) -> Result<LaunchReport, LaunchError> {
+        match self.failure.into_inner() {
+            None => Ok(report),
+            Some((warp_id, payload)) => Err(LaunchError {
+                warp_id,
+                payload,
+                completed_warps: self.completed.into_inner(),
+            }),
+        }
     }
 }
 
@@ -251,6 +414,66 @@ mod tests {
         });
         assert_eq!(report.counters.slab_reads, 514);
         assert_eq!(report.counters.ops, 257);
+    }
+
+    #[test]
+    fn try_launch_contains_warp_panic() {
+        let grid = Grid::new(4);
+        let mut items = vec![0u32; 40 * WARP_SIZE];
+        let err = grid
+            .try_launch(&mut items, |ctx, chunk| {
+                if ctx.warp_id == 7 {
+                    panic!("lane fault in warp 7");
+                }
+                for item in chunk.iter_mut() {
+                    *item = 1;
+                }
+            })
+            .expect_err("warp 7 must fail the launch");
+        assert_eq!(err.warp_id, 7);
+        assert_eq!(err.message(), Some("lane fault in warp 7"));
+        assert!(err.completed_warps < 40, "poison must stop queued warps");
+        // The process is alive and the grid reusable after containment.
+        let report = grid.try_launch(&mut items, |_, _| {}).unwrap();
+        assert_eq!(report.warps, 40);
+    }
+
+    #[test]
+    fn try_launch_warps_reports_first_failure_and_drains() {
+        let grid = Grid::new(2);
+        let err = Grid::try_launch_warps(&grid, 64, |ctx| {
+            if ctx.warp_id >= 3 {
+                panic!("warp {} down", ctx.warp_id);
+            }
+        })
+        .expect_err("must fail");
+        assert!(err.warp_id >= 3);
+        assert!(err.message().unwrap().starts_with("warp "));
+        assert!(err.completed_warps <= 64);
+    }
+
+    #[test]
+    fn try_launch_ok_matches_launch() {
+        let grid = Grid::new(4);
+        let mut items = vec![0u32; 100];
+        let report = grid
+            .try_launch(&mut items, |ctx, chunk| {
+                ctx.counters.ops += chunk.len() as u64;
+            })
+            .unwrap();
+        assert_eq!(report.counters.ops, 100);
+        assert_eq!(report.warps, 100_usize.div_ceil(WARP_SIZE));
+    }
+
+    #[test]
+    fn launch_resumes_contained_panic() {
+        let grid = Grid::sequential();
+        let mut items = vec![0u32; 1];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            grid.launch(&mut items, |_, _| panic!("boom"));
+        }));
+        let payload = caught.expect_err("panic must propagate through launch");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
     }
 
     #[test]

@@ -41,9 +41,9 @@ pub mod memory;
 pub mod model;
 pub mod warp;
 
-pub use chaos::{disable_chaos, set_chaos, ChaosGuard};
+pub use chaos::{disable_chaos, set_chaos, ChaosGuard, FaultPlan};
 pub use counters::PerfCounters;
-pub use grid::{Grid, LaunchReport, WarpCtx};
+pub use grid::{Grid, LaunchError, LaunchReport, WarpCtx};
 pub use memory::{pack_pair, unpack_pair, SlabStorage, SLAB_BYTES, WORDS_PER_SLAB};
 pub use model::{GpuEstimate, GpuModel};
 pub use warp::{ballot, ballot_eq, ffs, lanes_below, popc, shfl, Lane, WARP_SIZE};

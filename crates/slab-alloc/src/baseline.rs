@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use simt::memory::SlabStorage;
 use simt::WarpCtx;
 
-use crate::traits::{SlabAllocator, SlabRef};
+use crate::traits::{AllocError, SlabAllocator, SlabRef};
 
 /// Pointers from baseline allocators are plain slab indices; keep them out
 /// of the sentinel range (super block 0xFF).
@@ -63,7 +63,10 @@ impl SlabAllocator for SerialHeapSim {
 
     fn new_warp_state(&self) {}
 
-    fn allocate(&self, _state: &mut (), ctx: &mut WarpCtx) -> u32 {
+    fn try_allocate(&self, _state: &mut (), ctx: &mut WarpCtx) -> Result<u32, AllocError> {
+        if simt::chaos::should_fail_alloc() {
+            return Err(AllocError::Injected);
+        }
         // One global lock round-trip per allocation, plus the heap's own
         // bookkeeping traffic (header read + write).
         ctx.counters.lock_acquisitions += 1;
@@ -72,16 +75,17 @@ impl SlabAllocator for SerialHeapSim {
         ctx.counters.atomics += 1;
         let mut heap = self.heap.lock();
         if let Some(ptr) = heap.free_list.pop() {
-            return ptr;
+            return Ok(ptr);
         }
-        assert!(
-            heap.next_fresh < heap.capacity,
-            "SerialHeapSim out of memory ({} slabs)",
-            heap.capacity
-        );
+        if heap.next_fresh >= heap.capacity {
+            return Err(AllocError::OutOfSlabs {
+                allocated: heap.next_fresh as u64 - heap.free_list.len() as u64,
+                capacity: heap.capacity as u64,
+            });
+        }
         let ptr = heap.next_fresh;
         heap.next_fresh += 1;
-        ptr
+        Ok(ptr)
     }
 
     fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx) {
@@ -163,7 +167,14 @@ impl SlabAllocator for HallocSim {
         HallocState { counter: 0 }
     }
 
-    fn allocate(&self, state: &mut HallocState, ctx: &mut WarpCtx) -> u32 {
+    fn try_allocate(
+        &self,
+        state: &mut HallocState,
+        ctx: &mut WarpCtx,
+    ) -> Result<u32, AllocError> {
+        if simt::chaos::should_fail_alloc() {
+            return Err(AllocError::Injected);
+        }
         // Halloc's allocation critical path (superblock-set hashing, chunk
         // hierarchy descent, counter updates) executes dozens of dependent
         // instructions with a single lane active in the WCWS scenario. The
@@ -204,7 +215,7 @@ impl SlabAllocator for HallocSim {
                             let slab = pool_idx as u32 * self.slabs_per_pool
                                 + (w as u32) * 32
                                 + bit;
-                            return slab;
+                            return Ok(slab);
                         }
                         Err(actual) => {
                             ctx.counters.cas_failures += 1;
@@ -214,10 +225,10 @@ impl SlabAllocator for HallocSim {
                 }
             }
         }
-        panic!(
-            "HallocSim out of memory ({} slabs)",
-            self.capacity_slabs()
-        );
+        Err(AllocError::OutOfSlabs {
+            allocated: self.allocated_slabs(),
+            capacity: self.capacity_slabs(),
+        })
     }
 
     fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx) {
@@ -284,6 +295,54 @@ mod tests {
             heap.allocate(&mut (), &mut WarpCtx::for_test(0))
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn serial_heap_try_allocate_recovers_after_free() {
+        let heap = SerialHeapSim::new(2, 0);
+        let mut ctx = WarpCtx::for_test(0);
+        let a = heap.try_allocate(&mut (), &mut ctx).unwrap();
+        heap.try_allocate(&mut (), &mut ctx).unwrap();
+        assert_eq!(
+            heap.try_allocate(&mut (), &mut ctx),
+            Err(AllocError::OutOfSlabs {
+                allocated: 2,
+                capacity: 2
+            })
+        );
+        heap.deallocate(a, &mut ctx);
+        assert_eq!(heap.try_allocate(&mut (), &mut ctx), Ok(a));
+    }
+
+    #[test]
+    fn halloc_try_allocate_surfaces_exhaustion() {
+        let halloc = HallocSim::new(1, 32, 0);
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = halloc.new_warp_state();
+        for _ in 0..32 {
+            halloc.try_allocate(&mut st, &mut ctx).unwrap();
+        }
+        match halloc.try_allocate(&mut st, &mut ctx) {
+            Err(AllocError::OutOfSlabs { allocated, .. }) => assert_eq!(allocated, 32),
+            other => panic!("expected OutOfSlabs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baselines_honour_injected_failures() {
+        let heap = SerialHeapSim::new(8, 0);
+        let halloc = HallocSim::new(1, 32, 0);
+        let mut ctx = WarpCtx::for_test(0);
+        let _g =
+            simt::ChaosGuard::plan(simt::FaultPlan::seeded(0xFA11).with_alloc_failures(1.0));
+        assert_eq!(
+            heap.try_allocate(&mut (), &mut ctx),
+            Err(AllocError::Injected)
+        );
+        assert_eq!(
+            halloc.try_allocate(&mut halloc.new_warp_state(), &mut ctx),
+            Err(AllocError::Injected)
+        );
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub mod traits;
 pub use baseline::{HallocSim, SerialHeapSim};
 pub use layout::{is_allocated_ptr, is_sentinel, SlabAddr, BASE_SLAB, EMPTY_PTR};
 pub use slab_alloc::{ResidentState, SlabAlloc, SlabAllocConfig};
-pub use traits::{SlabAllocator, SlabRef};
+pub use traits::{AllocError, SlabAllocator, SlabRef};

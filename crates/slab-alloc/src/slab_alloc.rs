@@ -18,7 +18,7 @@ use simt::WarpCtx;
 
 use crate::layout::{is_allocated_ptr, SlabAddr, MAX_SUPER_BLOCKS, UNITS_PER_BLOCK};
 use crate::super_block::SuperBlock;
-use crate::traits::{SlabAllocator, SlabRef};
+use crate::traits::{AllocError, SlabAllocator, SlabRef};
 
 /// Configuration for [`SlabAlloc`].
 #[derive(Debug, Clone, Copy)]
@@ -231,7 +231,14 @@ impl SlabAllocator for SlabAlloc {
         ResidentState::invalid()
     }
 
-    fn allocate(&self, state: &mut ResidentState, ctx: &mut WarpCtx) -> u32 {
+    fn try_allocate(
+        &self,
+        state: &mut ResidentState,
+        ctx: &mut WarpCtx,
+    ) -> Result<u32, AllocError> {
+        if simt::chaos::should_fail_alloc() {
+            return Err(AllocError::Injected);
+        }
         // Bound: every resident block visited twice over the full hierarchy
         // without success means the allocator is genuinely exhausted.
         let max_attempts = 2 * self.config.super_blocks * self.config.blocks_per_super;
@@ -255,12 +262,12 @@ impl SlabAllocator for SlabAlloc {
                 if failures.is_multiple_of(self.config.resident_threshold) {
                     self.grow();
                 }
-                assert!(
-                    failures <= max_attempts,
-                    "SlabAlloc out of memory: {} slabs allocated of {} capacity",
-                    self.allocated_slabs(),
-                    self.capacity_slabs()
-                );
+                if failures > max_attempts {
+                    return Err(AllocError::OutOfSlabs {
+                        allocated: self.allocated_slabs(),
+                        capacity: self.capacity_slabs(),
+                    });
+                }
                 continue;
             };
             let word = state.cached[lane];
@@ -270,12 +277,12 @@ impl SlabAllocator for SlabAlloc {
                 Ok(()) => {
                     state.cached[lane] = word | (1 << bit);
                     ctx.counters.allocations += 1;
-                    return SlabAddr {
+                    return Ok(SlabAddr {
                         super_block: state.super_block,
                         block: state.block,
                         unit: lane as u32 * 32 + bit,
                     }
-                    .encode();
+                    .encode());
                 }
                 Err(actual) => {
                     // Another warp beat us to this word; refresh the register
@@ -396,6 +403,51 @@ mod tests {
             alloc.allocate(&mut st, &mut ctx)
         }));
         assert!(result.is_err(), "allocation past capacity must panic");
+    }
+
+    #[test]
+    fn try_allocate_surfaces_exhaustion_and_recovers() {
+        let alloc = SlabAlloc::new(SlabAllocConfig::small(1, 1)); // 1024 slabs
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        let ptrs: Vec<u32> = (0..1024)
+            .map(|_| alloc.try_allocate(&mut st, &mut ctx).unwrap())
+            .collect();
+        match alloc.try_allocate(&mut st, &mut ctx) {
+            Err(crate::traits::AllocError::OutOfSlabs {
+                allocated,
+                capacity,
+            }) => {
+                assert_eq!(allocated, 1024);
+                assert_eq!(capacity, 1024);
+            }
+            other => panic!("expected OutOfSlabs, got {other:?}"),
+        }
+        // The allocator must stay usable: free one slab, allocate again.
+        alloc.deallocate(ptrs[100], &mut ctx);
+        let again = alloc.try_allocate(&mut st, &mut ctx).unwrap();
+        assert_eq!(again, ptrs[100]);
+    }
+
+    #[test]
+    fn injected_alloc_failures_honour_the_fault_plan() {
+        let alloc = tiny();
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        {
+            let _g = simt::ChaosGuard::plan(
+                simt::FaultPlan::seeded(0xFA11).with_alloc_failures(1.0),
+            );
+            for _ in 0..10 {
+                assert_eq!(
+                    alloc.try_allocate(&mut st, &mut ctx),
+                    Err(crate::traits::AllocError::Injected)
+                );
+            }
+            assert_eq!(alloc.allocated_slabs(), 0, "injected failure must not leak");
+        }
+        // Plan dropped: allocation works again.
+        assert!(alloc.try_allocate(&mut st, &mut ctx).is_ok());
     }
 
     #[test]

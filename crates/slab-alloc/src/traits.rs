@@ -10,6 +10,40 @@
 use simt::memory::SlabStorage;
 use simt::WarpCtx;
 
+/// Why an allocation request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The allocator's configured capacity is genuinely exhausted (the
+    /// paper's allocator likewise cannot make forward progress past its
+    /// addressing limit).
+    OutOfSlabs {
+        /// Slabs handed out at the time of failure.
+        allocated: u64,
+        /// The allocator's maximum capacity in slabs.
+        capacity: u64,
+    },
+    /// A fault-injection plan (`simt::chaos::should_fail_alloc`) forced
+    /// this allocation to fail; capacity may well remain.
+    Injected,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfSlabs {
+                allocated,
+                capacity,
+            } => write!(
+                f,
+                "out of slabs: {allocated} allocated of {capacity} capacity"
+            ),
+            AllocError::Injected => write!(f, "allocation failure injected by fault plan"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
 /// A resolved slab location: which storage array and which slab within it.
 #[derive(Clone, Copy)]
 pub struct SlabRef<'a> {
@@ -32,15 +66,37 @@ pub trait SlabAllocator: Sync {
     /// Fresh warp-private state for a newly scheduled warp.
     fn new_warp_state(&self) -> Self::WarpState;
 
-    /// Allocates one slab and returns its 32-bit pointer. The whole warp
-    /// participates (warp-synchronous); transaction costs are billed to
-    /// `ctx.counters`.
+    /// Allocates one slab and returns its 32-bit pointer, or a structured
+    /// [`AllocError`] when it cannot. The whole warp participates
+    /// (warp-synchronous); transaction costs are billed to `ctx.counters`.
+    ///
+    /// Implementations must leave the allocator and `state` in a usable
+    /// condition on failure: a later `try_allocate` after slabs are freed
+    /// must be able to succeed.
+    ///
+    /// # Errors
+    /// [`AllocError::OutOfSlabs`] when the configured capacity is
+    /// exhausted; [`AllocError::Injected`] under a fault-injection plan.
+    fn try_allocate(
+        &self,
+        state: &mut Self::WarpState,
+        ctx: &mut WarpCtx,
+    ) -> Result<u32, AllocError>;
+
+    /// Allocates one slab and returns its 32-bit pointer. Thin panicking
+    /// wrapper over [`SlabAllocator::try_allocate`] for callers with no
+    /// recovery story.
     ///
     /// # Panics
-    /// Panics when the allocator's configured capacity is exhausted — the
-    /// paper's allocator grows super blocks up to its 1 TB addressing limit
-    /// and likewise cannot make forward progress past it.
-    fn allocate(&self, state: &mut Self::WarpState, ctx: &mut WarpCtx) -> u32;
+    /// Panics when `try_allocate` fails — the paper's allocator grows super
+    /// blocks up to its 1 TB addressing limit and likewise cannot make
+    /// forward progress past it.
+    fn allocate(&self, state: &mut Self::WarpState, ctx: &mut WarpCtx) -> u32 {
+        match self.try_allocate(state, ctx) {
+            Ok(ptr) => ptr,
+            Err(e) => panic!("slab allocation failed: {e}"),
+        }
+    }
 
     /// Returns a previously allocated slab to the allocator.
     fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx);

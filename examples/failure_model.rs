@@ -1,0 +1,61 @@
+//! Tour of the failure model: allocator exhaustion surfaced as a
+//! structured error (with recovery), deterministic seeded fault
+//! injection, bounded retries, and warp-panic containment.
+//!
+//! Run with `cargo run --release --example failure_model`.
+
+use simt::{ChaosGuard, FaultPlan, Grid};
+use slab_alloc::SerialHeapSim;
+use slab_hash::{KeyValue, Request, SlabHash, SlabHashConfig, WarpDriver, EMPTY_KEY};
+
+fn main() {
+    // --- 1. Exhaustion is an error, not an abort -----------------------
+    // One bucket over a 3-slab heap: 15 base + 45 chained pairs = 60 max.
+    let table = SlabHash::<KeyValue, SerialHeapSim>::with_allocator(
+        SlabHashConfig::with_buckets(1),
+        SerialHeapSim::new(3, EMPTY_KEY),
+    );
+    let grid = Grid::sequential();
+    let pairs: Vec<(u32, u32)> = (0..100).map(|k| (k, k + 1)).collect();
+    let err = table.try_bulk_build(&pairs, &grid).unwrap_err();
+    println!("bulk build of 100 pairs into a 60-pair table:");
+    println!("  error: {err}");
+    println!("  table kept {} elements, audit: {:?}", table.len(), table.audit().map(|a| a.no_leaks()));
+
+    // Recovery without new slabs: a delete frees a slot that a
+    // duplicate-allowing INSERT can reuse.
+    let mut warp = WarpDriver::new(&table);
+    assert!(warp.checked_insert(1_000, 1).is_err());
+    warp.checked_delete(0).unwrap();
+    warp.checked_insert(1_000, 1).unwrap();
+    println!("  after delete(0): insert(1000) = {:?}", warp.search(1_000));
+
+    // --- 2. Deterministic fault injection ------------------------------
+    let run = |seed: u64| -> Vec<usize> {
+        let _guard = ChaosGuard::plan(FaultPlan::seeded(seed).with_alloc_failures(0.4));
+        let t = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(1));
+        let mut w = WarpDriver::new(&t);
+        (0..200u32)
+            .filter(|&k| w.checked_replace(k, k).is_err())
+            .map(|k| k as usize)
+            .collect()
+    };
+    let a = run(0xFEED_F00D);
+    let b = run(0xFEED_F00D);
+    let c = run(0x0DD_5EED);
+    println!("\nfault plan p(alloc fail)=0.4, seed 0xFEED_F00D:");
+    println!("  failed request indices (run 1): {a:?}");
+    println!("  identical across reruns: {}", a == b);
+    println!("  seed 0x0DD_5EED fails elsewhere: {}", a != c);
+
+    // --- 3. A panicking warp is contained ------------------------------
+    let table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(8));
+    let grid = Grid::new(4);
+    let mut reqs: Vec<Request> = (0..256).map(|k| Request::replace(k, k)).collect();
+    reqs[100] = Request::replace(EMPTY_KEY, 0); // reserved key panics in-kernel
+    let err = table.try_execute_batch(&mut reqs, &grid).unwrap_err();
+    println!("\npoisoned batch: warp {} failed with {:?};", err.warp_id, err.message());
+    println!("  {} of 8 warps completed, table still audits clean: {}",
+        err.completed_warps,
+        table.audit().unwrap().no_leaks());
+}

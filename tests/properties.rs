@@ -1,10 +1,14 @@
-//! Property-based tests (proptest) over the core data structures and their
-//! invariants.
+//! Property-style tests over the core data structures and their invariants.
+//!
+//! Originally written with proptest; now driven by seeded `StdRng` case
+//! generation (the build has no registry access), which keeps the same
+//! model-based invariants while making every failure reproducible from the
+//! printed case seed.
 
 use std::collections::HashMap;
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use slab_alloc::{SlabAddr, SlabAlloc, SlabAllocConfig, SlabAllocator};
 use slab_hash::{KeyValue, SlabHash, SlabHashConfig, UniversalHash, WarpDriver, MAX_KEY};
 
@@ -25,30 +29,35 @@ enum Op {
 /// SEARCHALL). Mixing both families on one key is unsupported API usage —
 /// REPLACE's uniqueness guarantee presumes the key was never INSERTed as a
 /// duplicate (paper §III-B).
-fn op_strategy(key_space: u32) -> impl Strategy<Value = Op> {
-    let unique_key = 0..key_space / 2;
-    let multi_key = key_space / 2..key_space;
-    prop_oneof![
-        3 => (unique_key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Replace(k, v)),
-        2 => (multi_key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        2 => unique_key.clone().prop_map(Op::Delete),
-        1 => multi_key.clone().prop_map(Op::DeleteAll),
-        2 => unique_key.prop_map(Op::Search),
-        1 => multi_key.prop_map(Op::SearchAll),
-    ]
+fn random_op(rng: &mut StdRng, key_space: u32) -> Op {
+    let unique_key = rng.gen_range(0..key_space / 2);
+    let multi_key = rng.gen_range(key_space / 2..key_space);
+    // Weights 3:2:2:1:2:1, as in the original proptest strategy.
+    match rng.gen_range(0..11) {
+        0..=2 => Op::Replace(unique_key, rng.gen::<u32>()),
+        3..=4 => Op::Insert(multi_key, rng.gen::<u32>()),
+        5..=6 => Op::Delete(unique_key),
+        7 => Op::DeleteAll(multi_key),
+        8..=9 => Op::Search(unique_key),
+        _ => Op::SearchAll(multi_key),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+fn random_ops(rng: &mut StdRng, key_space: u32, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| random_op(rng, key_space)).collect()
+}
 
-    /// Any sequence of operations leaves the table equivalent to a simple
-    /// multimap model, with REPLACE/DELETE acting on the least recent
-    /// instance, and the structural audit passing.
-    #[test]
-    fn table_matches_multimap_model(
-        ops in vec(op_strategy(64), 1..400),
-        buckets in 1u32..16,
-    ) {
+/// Any sequence of operations leaves the table equivalent to a simple
+/// multimap model, with REPLACE/DELETE acting on the least recent instance,
+/// and the structural audit passing.
+#[test]
+fn table_matches_multimap_model() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0x0DE1 ^ case);
+        let buckets = rng.gen_range(1u32..16);
+        let ops = random_ops(&mut rng, 64, 400);
+
         let table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(buckets));
         let mut warp = WarpDriver::new(&table);
         // Model: key -> values in insertion order.
@@ -60,10 +69,10 @@ proptest! {
                     let entry = model.entry(k).or_default();
                     let prev = warp.replace(k, v);
                     if let Some(first) = entry.first_mut() {
-                        prop_assert_eq!(prev, Some(*first));
+                        assert_eq!(prev, Some(*first), "case {case}");
                         *first = v;
                     } else {
-                        prop_assert_eq!(prev, None);
+                        assert_eq!(prev, None, "case {case}");
                         entry.push(v);
                     }
                 }
@@ -75,31 +84,30 @@ proptest! {
                     let removed = warp.delete(k);
                     let entry = model.entry(k).or_default();
                     if entry.is_empty() {
-                        prop_assert_eq!(removed, None);
+                        assert_eq!(removed, None, "case {case}");
                     } else {
                         // Least recent = first in traversal order. With mixed
                         // INSERT reuse the traversal order can differ from
                         // insertion order, so only membership is asserted.
                         let v = removed.expect("model non-empty");
                         let pos = entry.iter().position(|&x| x == v);
-                        prop_assert!(pos.is_some(), "deleted value {} not in model", v);
+                        assert!(pos.is_some(), "case {case}: deleted value {v} not in model");
                         entry.remove(pos.unwrap());
                     }
                 }
                 Op::DeleteAll(k) => {
                     let n = warp.delete_all(k);
                     let entry = model.remove(&k).unwrap_or_default();
-                    prop_assert_eq!(n as usize, entry.len());
+                    assert_eq!(n as usize, entry.len(), "case {case}");
                 }
                 Op::Search(k) => {
                     let found = warp.search(k);
-                    let entry = model.get(&k);
-                    match entry {
+                    match model.get(&k) {
                         Some(vs) if !vs.is_empty() => {
                             let v = found.expect("key in model must be found");
-                            prop_assert!(vs.contains(&v));
+                            assert!(vs.contains(&v), "case {case}");
                         }
-                        _ => prop_assert_eq!(found, None),
+                        _ => assert_eq!(found, None, "case {case}"),
                     }
                 }
                 Op::SearchAll(k) => {
@@ -107,33 +115,48 @@ proptest! {
                     found.sort_unstable();
                     let mut want = model.get(&k).cloned().unwrap_or_default();
                     want.sort_unstable();
-                    prop_assert_eq!(found, want);
+                    assert_eq!(found, want, "case {case}");
                 }
             }
         }
         let total: usize = model.values().map(Vec::len).sum();
-        prop_assert_eq!(table.len(), total);
-        prop_assert!(table.audit().is_ok());
+        assert_eq!(table.len(), total, "case {case}");
+        assert!(table.audit().is_ok(), "case {case}");
     }
+}
 
-    /// FLUSH never changes the live contents, always removes every
-    /// tombstone, and never leaks slabs — for any operation sequence.
-    #[test]
-    fn flush_preserves_live_set(
-        ops in vec(op_strategy(48), 1..300),
-        buckets in 1u32..8,
-    ) {
+/// FLUSH never changes the live contents, always removes every tombstone,
+/// and never leaks slabs — for any operation sequence.
+#[test]
+fn flush_preserves_live_set() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0xF1005 ^ case);
+        let buckets = rng.gen_range(1u32..8);
+        let ops = random_ops(&mut rng, 48, 300);
+
         let mut table = SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(buckets));
         {
             let mut warp = WarpDriver::new(&table);
             for op in &ops {
                 match *op {
-                    Op::Replace(k, v) => { warp.replace(k, v); }
-                    Op::Insert(k, v) => { warp.insert(k, v); }
-                    Op::Delete(k) => { warp.delete(k); }
-                    Op::DeleteAll(k) => { warp.delete_all(k); }
-                    Op::Search(k) => { warp.search(k); }
-                    Op::SearchAll(k) => { warp.search_all(k); }
+                    Op::Replace(k, v) => {
+                        warp.replace(k, v);
+                    }
+                    Op::Insert(k, v) => {
+                        warp.insert(k, v);
+                    }
+                    Op::Delete(k) => {
+                        warp.delete(k);
+                    }
+                    Op::DeleteAll(k) => {
+                        warp.delete_all(k);
+                    }
+                    Op::Search(k) => {
+                        warp.search(k);
+                    }
+                    Op::SearchAll(k) => {
+                        warp.search_all(k);
+                    }
                 }
             }
         }
@@ -145,73 +168,101 @@ proptest! {
 
         let mut after = table.collect_elements();
         after.sort_unstable();
-        prop_assert_eq!(before, after);
-        prop_assert!(table.total_slabs() <= slabs_before);
+        assert_eq!(before, after, "case {case}");
+        assert!(table.total_slabs() <= slabs_before, "case {case}");
         let audit = table.audit().unwrap();
-        prop_assert_eq!(audit.tombstones, 0);
-        prop_assert!(audit.no_leaks());
+        assert_eq!(audit.tombstones, 0, "case {case}");
+        assert!(audit.no_leaks(), "case {case}");
     }
+}
 
-    /// The 32-bit slab address layout is a bijection over its valid domain.
-    #[test]
-    fn slab_address_codec_roundtrip(
-        super_block in 0u32..255,
-        block in 0u32..(1 << 14),
-        unit in 0u32..1024,
-    ) {
-        let addr = SlabAddr { super_block, block, unit };
+/// The 32-bit slab address layout is a bijection over its valid domain.
+#[test]
+fn slab_address_codec_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xADD2);
+    for _ in 0..512 {
+        let addr = SlabAddr {
+            super_block: rng.gen_range(0u32..255),
+            block: rng.gen_range(0u32..(1 << 14)),
+            unit: rng.gen_range(0u32..1024),
+        };
         let ptr = addr.encode();
-        prop_assert_eq!(SlabAddr::decode(ptr), Some(addr));
-        prop_assert!(slab_alloc::is_allocated_ptr(ptr));
+        assert_eq!(SlabAddr::decode(ptr), Some(addr));
+        assert!(slab_alloc::is_allocated_ptr(ptr));
     }
+}
 
-    /// Allocate/deallocate in any interleaving: the allocator's accounting
-    /// matches the caller's, and no pointer is handed out twice while live.
-    #[test]
-    fn allocator_accounting(script in vec(any::<bool>(), 1..300)) {
+/// Allocate/deallocate in any interleaving: the allocator's accounting
+/// matches the caller's, and no pointer is handed out twice while live.
+#[test]
+fn allocator_accounting() {
+    for case in 0u64..24 {
+        let mut rng = StdRng::seed_from_u64(0xA110C ^ case);
+        let script_len = rng.gen_range(1..300usize);
+
         let alloc = SlabAlloc::new(SlabAllocConfig::small(2, 2));
         let mut ctx = simt::WarpCtx::for_test(0);
         let mut state = alloc.new_warp_state();
         let mut live: Vec<u32> = Vec::new();
-        for &do_alloc in &script {
-            if do_alloc || live.is_empty() {
+        for _ in 0..script_len {
+            if rng.gen_bool(0.5) || live.is_empty() {
                 let ptr = alloc.allocate(&mut state, &mut ctx);
-                prop_assert!(!live.contains(&ptr), "pointer {ptr:#x} double-allocated");
-                prop_assert!(alloc.is_live(ptr));
+                assert!(
+                    !live.contains(&ptr),
+                    "case {case}: pointer {ptr:#x} double-allocated"
+                );
+                assert!(alloc.is_live(ptr));
                 live.push(ptr);
             } else {
                 let ptr = live.swap_remove(live.len() / 2);
                 alloc.deallocate(ptr, &mut ctx);
-                prop_assert!(!alloc.is_live(ptr));
+                assert!(!alloc.is_live(ptr));
             }
         }
-        prop_assert_eq!(alloc.allocated_slabs(), live.len() as u64);
+        assert_eq!(alloc.allocated_slabs(), live.len() as u64, "case {case}");
     }
+}
 
-    /// The universal hash stays in range and is deterministic for any
-    /// parameters.
-    #[test]
-    fn universal_hash_in_range(seed in any::<u64>(), buckets in 1u32..1_000_000, key in 0u32..=MAX_KEY) {
+/// The universal hash stays in range and is deterministic for any
+/// parameters.
+#[test]
+fn universal_hash_in_range() {
+    let mut rng = StdRng::seed_from_u64(0x4A54);
+    for _ in 0..512 {
+        let seed = rng.gen::<u64>();
+        let buckets = rng.gen_range(1u32..1_000_000);
+        let key = rng.gen_range(0u32..=MAX_KEY);
         let h = UniversalHash::new(seed, buckets);
         let b = h.bucket(key);
-        prop_assert!(b < buckets);
-        prop_assert_eq!(b, UniversalHash::new(seed, buckets).bucket(key));
+        assert!(b < buckets);
+        assert_eq!(b, UniversalHash::new(seed, buckets).bucket(key));
     }
+}
 
-    /// Warp ballots and ffs agree with a scalar reference implementation.
-    #[test]
-    fn ballot_ffs_reference(values in proptest::array::uniform32(0u32..4)) {
+/// Warp ballots and ffs agree with a scalar reference implementation.
+#[test]
+fn ballot_ffs_reference() {
+    let mut rng = StdRng::seed_from_u64(0xBA110);
+    for _ in 0..512 {
+        let mut values = [0u32; 32];
+        for v in values.iter_mut() {
+            *v = rng.gen_range(0u32..4);
+        }
         let mask = simt::ballot_eq(&values, 2);
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(mask & (1 << i) != 0, v == 2);
+            assert_eq!(mask & (1 << i) != 0, v == 2);
         }
         let expected_first = values.iter().position(|&v| v == 2);
-        prop_assert_eq!(simt::ffs(mask), expected_first);
+        assert_eq!(simt::ffs(mask), expected_first);
     }
+}
 
-    /// pack/unpack of key-value pairs is lossless.
-    #[test]
-    fn pair_codec_roundtrip(k in any::<u32>(), v in any::<u32>()) {
-        prop_assert_eq!(simt::unpack_pair(simt::pack_pair(k, v)), (k, v));
+/// pack/unpack of key-value pairs is lossless.
+#[test]
+fn pair_codec_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for _ in 0..512 {
+        let (k, v) = (rng.gen::<u32>(), rng.gen::<u32>());
+        assert_eq!(simt::unpack_pair(simt::pack_pair(k, v)), (k, v));
     }
 }
