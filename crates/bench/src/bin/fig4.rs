@@ -77,6 +77,7 @@ fn fig4a(
         "Fig 4a build rate vs memory utilization",
         &[
             "util", "B(slab)", "slab sim", "slab cpu", "cudpp sim", "cudpp cpu", "bound",
+            "roofline",
         ],
     );
     let mut slab_rates = Vec::new();
@@ -87,6 +88,7 @@ fn fig4a(
         let mut cudpp_sim = Vec::new();
         let mut cudpp_cpu = Vec::new();
         let mut bound = "";
+        let mut roofline = String::new();
         for trial in 0..trials {
             let pairs = random_pairs(n, 0);
             let _ = trial;
@@ -94,21 +96,25 @@ fn fig4a(
             slab_sim.push(m.sim_mops);
             slab_cpu.push(m.cpu_mops);
             bound = m.bound;
+            roofline = m.roofline_cell();
             let (_c, mc) = build_cuckoo(&pairs, util, grid, model);
             cudpp_sim.push(mc.sim_mops);
             cudpp_cpu.push(mc.cpu_mops);
         }
         let b = buckets_for_utilization::<KeyValue>(n, util);
-        slab_rates.push(geomean(&slab_sim));
-        cudpp_rates.push(geomean(&cudpp_sim));
+        // `--trials 0` makes every per-utilization vector empty; report NaN
+        // cells rather than panicking inside geomean.
+        slab_rates.push(geomean(&slab_sim).unwrap_or(f64::NAN));
+        cudpp_rates.push(geomean(&cudpp_sim).unwrap_or(f64::NAN));
         table.row(vec![
             format!("{util:.2}"),
             format!("{b}"),
-            mops(geomean(&slab_sim)),
-            mops(geomean(&slab_cpu)),
-            mops(geomean(&cudpp_sim)),
-            mops(geomean(&cudpp_cpu)),
+            mops(geomean(&slab_sim).unwrap_or(f64::NAN)),
+            mops(geomean(&slab_cpu).unwrap_or(f64::NAN)),
+            mops(geomean(&cudpp_sim).unwrap_or(f64::NAN)),
+            mops(geomean(&cudpp_cpu).unwrap_or(f64::NAN)),
             bound.to_string(),
+            roofline,
         ]);
     }
     table.finish(csv);
@@ -119,7 +125,7 @@ fn fig4a(
         .collect();
     println!(
         "geomean cuckoo/slabhash build speedup over all utilizations: {:.2}x (paper: 1.33x)",
-        geomean(&speedup)
+        geomean(&speedup).unwrap_or(f64::NAN)
     );
     println!(
         "slab hash peak build rate: {} M/s (paper: 512 M/s)",
@@ -174,7 +180,10 @@ fn fig4b(
             acc[3].push(c_none.sim_mops);
             acc[4].push(m_all.cpu_mops);
         }
-        let g: Vec<f64> = acc.iter().map(|v| geomean(v)).collect();
+        let g: Vec<f64> = acc
+            .iter()
+            .map(|v| geomean(v).unwrap_or(f64::NAN))
+            .collect();
         slab_peak = slab_peak.max(g[0]).max(g[1]);
         ratios_all.push(g[2] / g[0]);
         ratios_none.push(g[3] / g[1]);
@@ -190,8 +199,8 @@ fn fig4b(
     table.finish(csv);
     println!(
         "geomean cuckoo/slabhash speedup: search-all {:.2}x (paper 2.08x), search-none {:.2}x (paper 2.04x)",
-        geomean(&ratios_all),
-        geomean(&ratios_none)
+        geomean(&ratios_all).unwrap_or(f64::NAN),
+        geomean(&ratios_none).unwrap_or(f64::NAN)
     );
     println!(
         "slab hash peak search rate: {} M q/s (paper: 937 M q/s)",

@@ -58,7 +58,7 @@ fn fig5a(
 ) {
     let mut table = Table::new(
         "Fig 5a build rate vs table size (60% utilization)",
-        &["n", "slab sim", "slab cpu", "cudpp sim", "cudpp cpu"],
+        &["n", "slab sim", "slab cpu", "cudpp sim", "cudpp cpu", "roofline"],
     );
     let mut ratios = Vec::new();
     for &n in sizes {
@@ -80,12 +80,13 @@ fn fig5a(
             mops(m_slab.cpu_mops),
             mops(m_cudpp.sim_mops),
             mops(m_cudpp.cpu_mops),
+            m_slab.roofline_cell(),
         ]);
     }
     table.finish(csv);
     println!(
         "geomean cuckoo/slabhash build speedup over all n: {:.2}x (paper: 1.19x at 65%)",
-        geomean(&ratios)
+        geomean(&ratios).unwrap_or(f64::NAN)
     );
     println!("(paper shape: CUDPP particularly fast at small n — atomics land in L2)");
 }
@@ -156,7 +157,7 @@ fn fig5b(
     );
     println!(
         "geomean cuckoo/slabhash speedup: search-all {:.2}x (paper 1.19x), search-none {:.2}x (paper 0.94x)",
-        geomean(&r_all),
-        geomean(&r_none)
+        geomean(&r_all).unwrap_or(f64::NAN),
+        geomean(&r_none).unwrap_or(f64::NAN)
     );
 }

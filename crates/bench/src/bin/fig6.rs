@@ -11,7 +11,7 @@
 //! `--csv <dir>`, `--threads N`.
 
 use gpu_baselines::{CuckooConfig, CuckooHash};
-use slab_bench::{mops, paper_model, random_pairs, Args, Table};
+use slab_bench::{mops, paper_model, random_pairs, roofline_summary, Args, Table};
 use slab_hash::{KeyValue, SlabHash};
 
 const UTILIZATION: f64 = 0.65;
@@ -39,6 +39,7 @@ fn main() {
             "paper",
             "slab cpu(ms)",
             "cudpp cpu(ms)",
+            "slab roofline",
         ],
     );
     let paper_speedups = ["6.4x", "10.4x", "17.3x"];
@@ -53,6 +54,7 @@ fn main() {
         let slab = SlabHash::<KeyValue>::for_expected_elements(total, UTILIZATION, 0x516);
         let mut slab_sim = 0.0f64;
         let mut slab_cpu = 0.0f64;
+        let mut slab_counters = simt::PerfCounters::default();
         // CUDPP: rebuild from scratch after every batch at fixed 65 % load.
         let mut cudpp_sim = 0.0f64;
         let mut cudpp_cpu = 0.0f64;
@@ -65,6 +67,7 @@ fn main() {
                 .estimate(&report.counters, slab.device_bytes())
                 .time_s;
             slab_cpu += report.wall.as_secs_f64();
+            slab_counters.merge(&report.counters);
 
             let mut cuckoo = CuckooHash::new(
                 end,
@@ -95,6 +98,11 @@ fn main() {
             paper_speedups[bi].to_string(),
             format!("{:.0}", slab_cpu * 1e3),
             format!("{:.0}", cudpp_cpu * 1e3),
+            roofline_summary(
+                &model
+                    .estimate(&slab_counters, slab.device_bytes())
+                    .breakdown,
+            ),
         ]);
     }
     summary.finish(csv.as_deref());

@@ -15,8 +15,8 @@
 use gpu_baselines::{MisraHash, MisraOp};
 use simt::PerfCounters;
 use slab_bench::{
-    concurrent_workload, geomean, mops, paper_model, Args, ConcurrentOp, Gamma, Table,
-    UTILIZATION_SWEEP,
+    concurrent_workload, geomean, mops, paper_model, roofline_summary, Args, ConcurrentOp, Gamma,
+    Table, UTILIZATION_SWEEP,
 };
 use slab_hash::{KeyOnly, KeyValue, Request, SlabHash, SlabHashConfig};
 
@@ -84,11 +84,13 @@ fn fig7a(total_ops: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
             "40% updates sim",
             "100% updates sim",
             "100% updates cpu",
+            "roofline (100%u)",
         ],
     );
     for &util in &UTILIZATION_SWEEP {
         let mut cells = vec![format!("{util:.2}")];
         let mut cpu_last = 0.0;
+        let mut roofline_last = String::new();
         for gamma in gammas() {
             let w = concurrent_workload(initial, gamma, batch_size, num_batches, 0x7A + util as u64);
             let t = SlabHash::<KeyValue>::for_expected_elements(initial, util, 0x7A7);
@@ -98,8 +100,10 @@ fn fig7a(total_ops: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
             let est = model.estimate(&counters, t.device_bytes());
             cells.push(mops(est.mops()));
             cpu_last = counters.ops as f64 / wall / 1e6;
+            roofline_last = roofline_summary(&est.breakdown);
         }
         cells.push(mops(cpu_last));
+        cells.push(roofline_last);
         table.row(cells);
     }
     table.finish(csv);
@@ -183,8 +187,8 @@ fn fig7b(total_ops: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
     println!(
         "geomean slabhash/misra speedup: 20% updates {:.1}x (paper 3.1x), \
          40% updates {:.1}x (paper 4.3x), 100% updates {:.1}x (paper 5.1x)",
-        geomean(&speedups[0]),
-        geomean(&speedups[1]),
-        geomean(&speedups[2]),
+        geomean(&speedups[0]).unwrap_or(f64::NAN),
+        geomean(&speedups[1]).unwrap_or(f64::NAN),
+        geomean(&speedups[2]).unwrap_or(f64::NAN),
     );
 }

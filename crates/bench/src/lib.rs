@@ -27,7 +27,7 @@ pub mod workloads;
 use simt::{Grid, GpuModel};
 use slab_hash::{KeyValue, SlabHash};
 
-pub use report::{geomean, mops, Args, Measurement, Table};
+pub use report::{geomean, mops, roofline_summary, Args, Measurement, Table};
 pub use workloads::{
     concurrent_workload, distinct_keys, queries_all_exist, queries_none_exist, random_pairs,
     ConcurrentOp, ConcurrentWorkload, Gamma,

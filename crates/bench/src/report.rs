@@ -4,7 +4,7 @@
 use std::io::Write;
 use std::path::Path;
 
-use simt::{GpuModel, LaunchReport};
+use simt::{GpuModel, LaunchReport, ResourceBreakdown};
 
 /// One measured data point: the modeled device throughput (the
 /// paper-comparable number) and the host-side simulation throughput.
@@ -16,6 +16,8 @@ pub struct Measurement {
     pub cpu_mops: f64,
     /// Which roofline resource bound the modeled kernel.
     pub bound: &'static str,
+    /// Per-resource demand-time breakdown behind the bound.
+    pub breakdown: ResourceBreakdown,
 }
 
 impl Measurement {
@@ -27,15 +29,50 @@ impl Measurement {
             sim_mops: est.mops(),
             cpu_mops: report.cpu_ops_per_sec() / 1e6,
             bound: est.bound,
+            breakdown: est.breakdown,
         }
+    }
+
+    /// Compact roofline-attribution cell for result tables: the two largest
+    /// resource shares as percentages, e.g. `"atm 61% / coal 24%"`.
+    pub fn roofline_cell(&self) -> String {
+        roofline_summary(&self.breakdown)
     }
 }
 
-/// Geometric mean of a non-empty slice (the paper's summary statistic).
-pub fn geomean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty());
+/// Formats a [`ResourceBreakdown`] as its two largest resource shares,
+/// e.g. `"atm 61% / coal 24%"` — the table-cell form of the full
+/// breakdown printed by `examples/profile.rs`.
+pub fn roofline_summary(breakdown: &ResourceBreakdown) -> String {
+    let mut shares = breakdown.fractions().to_vec();
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let abbrev = |name: &'static str| match name {
+        "coalesced" => "coal",
+        "scattered" => "scat",
+        "atomic" => "atm",
+        "issue" => "iss",
+        "shared" => "shm",
+        "lock" => "lock",
+        other => other,
+    };
+    shares
+        .iter()
+        .take(2)
+        .filter(|(_, f)| *f > 0.0)
+        .map(|(name, f)| format!("{} {:.0}%", abbrev(name), f * 100.0))
+        .collect::<Vec<_>>()
+        .join(" / ")
+}
+
+/// Geometric mean of a slice (the paper's summary statistic).
+/// `None` for an empty slice — e.g. a filter over measurements that
+/// matched nothing — rather than a panic deep inside a report.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
     let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
-    (log_sum / xs.len() as f64).exp()
+    Some((log_sum / xs.len() as f64).exp())
 }
 
 /// An accumulating results table that renders aligned console output and
@@ -195,9 +232,32 @@ mod tests {
 
     #[test]
     fn geomean_matches_hand_computation() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_empty_slice_is_none() {
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn roofline_cell_names_top_resources() {
+        let m = Measurement {
+            sim_mops: 1.0,
+            cpu_mops: 1.0,
+            bound: "atomics",
+            breakdown: simt::ResourceBreakdown {
+                atomic_s: 0.6,
+                coalesced_s: 0.3,
+                issue_s: 0.1,
+                ..Default::default()
+            },
+        };
+        let cell = m.roofline_cell();
+        assert!(cell.starts_with("atm 60%"), "got {cell}");
+        assert!(cell.contains("coal 30%"), "got {cell}");
     }
 
     #[test]

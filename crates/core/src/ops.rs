@@ -14,6 +14,7 @@
 //! slab full, allocate-then-link races) fall out exactly as published.
 
 use simt::memory::{pack_pair, unpack_pair};
+use simt::telemetry::EventKind;
 use simt::warp::{ballot, ballot_eq, ffs, WARP_SIZE};
 use simt::WarpCtx;
 use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR};
@@ -77,6 +78,26 @@ pub enum OpKind {
     SearchAll,
 }
 
+impl OpKind {
+    /// Short lowercase identifier used by trace events (`"search"`,
+    /// `"replace"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::None => "none",
+            OpKind::Insert => "insert",
+            OpKind::InsertTail => "insert_tail",
+            OpKind::Replace => "replace",
+            OpKind::ReplaceStrict => "replace_strict",
+            OpKind::TryInsert => "try_insert",
+            OpKind::CompareExchange => "compare_exchange",
+            OpKind::Delete => "delete",
+            OpKind::DeleteAll => "delete_all",
+            OpKind::Search => "search",
+            OpKind::SearchAll => "search_all",
+        }
+    }
+}
+
 /// The outcome of a request.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum OpResult {
@@ -126,6 +147,22 @@ impl OpResult {
         match self {
             OpResult::Found(v) | OpResult::Replaced(v) | OpResult::Deleted(v) => Some(*v),
             _ => None,
+        }
+    }
+
+    /// Short lowercase outcome tag used by trace events (`"inserted"`,
+    /// `"not_found"`, …).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpResult::Pending => "pending",
+            OpResult::Inserted => "inserted",
+            OpResult::Replaced(_) => "replaced",
+            OpResult::Found(_) => "found",
+            OpResult::NotFound => "not_found",
+            OpResult::Deleted(_) => "deleted",
+            OpResult::DeletedCount(_) => "deleted_count",
+            OpResult::FoundAll(_) => "found_all",
+            OpResult::Failed(_) => "failed",
         }
     }
 }
@@ -301,6 +338,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         let mut strict_inserting = [false; WARP_SIZE];
         // Lost-CAS count per request, against RETRY_BUDGET.
         let mut retries = [0u32; WARP_SIZE];
+        // Telemetry: rounds spent as the source lane and chain hops taken,
+        // per request (recorded into histograms / trace when it finishes).
+        let mut rounds_per_req = [0u32; WARP_SIZE];
+        let mut chain_steps = [0u32; WARP_SIZE];
 
         let mut next = BASE_SLAB;
         let mut last_work_queue = 0u32;
@@ -320,26 +361,47 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             let src_lane = ffs(work_queue).expect("non-empty work queue");
             let src_key = keys[src_lane];
             let src_bucket = self.hash_fn().bucket(src_key);
+            rounds_per_req[src_lane] += 1;
             let read_data = self.read_slab(src_bucket, next, ctx);
 
+            // Telemetry snapshots for this round; `retries` stays live for
+            // the budget check below, so the finisher takes it as an
+            // argument instead of capturing it.
+            let op_name = kinds[src_lane].name();
+            let rounds_now = rounds_per_req[src_lane];
+            let chain_now = chain_steps[src_lane] + 1;
             let finish = |reqs: &mut [Request],
                               active: &mut [bool; WARP_SIZE],
                               ctx: &mut WarpCtx,
+                              retries_now: u32,
                               result: OpResult| {
+                ctx.histograms.rounds_per_op.record(rounds_now as u64);
+                ctx.histograms.retries_per_op.record(retries_now as u64);
+                ctx.histograms.chain_slabs.record(chain_now as u64);
+                ctx.trace(EventKind::Op {
+                    op: op_name,
+                    key: src_key,
+                    bucket: src_bucket,
+                    rounds: rounds_now,
+                    retries: retries_now,
+                    chain: chain_now,
+                    status: result.tag(),
+                });
                 reqs[src_lane].result = result;
                 active[src_lane] = false;
                 ctx.counters.ops += 1;
             };
 
             let cas_failures_before = ctx.counters.cas_failures;
+            let next_before = next;
             match kinds[src_lane] {
                 OpKind::Search => {
                     let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
                     if let Some(lane) = ffs(found) {
                         let value = read_data[L::value_lane(lane)];
-                        finish(reqs, &mut active, ctx, OpResult::Found(value));
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Found(value));
                     } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
-                        finish(reqs, &mut active, ctx, OpResult::NotFound);
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::NotFound);
                     } else {
                         next = read_data[ADDRESS_LANE];
                     }
@@ -358,7 +420,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         } else {
                             OpResult::FoundAll(values)
                         };
-                        finish(reqs, &mut active, ctx, result);
+                        finish(reqs, &mut active, ctx, retries[src_lane],result);
                     } else {
                         next = read_data[ADDRESS_LANE];
                     }
@@ -381,13 +443,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             values[src_lane],
                             /* reuse_deleted = */ false,
                         ) {
-                            finish(reqs, &mut active, ctx, result);
+                            finish(reqs, &mut active, ctx, retries[src_lane],result);
                         }
                         // CAS lost: retry — re-read the same slab next round.
                     } else if let Err(e) =
                         self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
                     {
-                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
                 }
 
@@ -406,7 +468,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                                 values[src_lane],
                                 /* reuse_deleted = */ false,
                             ) {
-                                finish(reqs, &mut active, ctx, result);
+                                finish(reqs, &mut active, ctx, retries[src_lane],result);
                             }
                             // CAS lost: re-read this slab and retry the scan.
                         } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
@@ -430,7 +492,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                                 values[src_lane],
                                 /* reuse_deleted = */ false,
                             ) {
-                                finish(reqs, &mut active, ctx, result);
+                                finish(reqs, &mut active, ctx, retries[src_lane],result);
                             }
                         } else if let Err(e) = self.follow_or_allocate(
                             ctx,
@@ -439,7 +501,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             &mut next,
                             &read_data,
                         ) {
-                            finish(reqs, &mut active, ctx, OpResult::Failed(e));
+                            finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                         }
                     }
                 }
@@ -462,12 +524,12 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             values[src_lane],
                             /* reuse_deleted = */ true,
                         ) {
-                            finish(reqs, &mut active, ctx, result);
+                            finish(reqs, &mut active, ctx, retries[src_lane],result);
                         }
                     } else if let Err(e) =
                         self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
                     {
-                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
                 }
 
@@ -490,7 +552,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             values[src_lane],
                             /* reuse_deleted = */ true,
                         ) {
-                            finish(reqs, &mut active, ctx, result);
+                            finish(reqs, &mut active, ctx, retries[src_lane],result);
                         }
                     } else if next == BASE_SLAB
                         && slab_alloc::is_allocated_ptr(read_data[crate::entry::AUX_LANE])
@@ -500,7 +562,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                     } else if let Err(e) =
                         self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
                     {
-                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
                 }
 
@@ -512,7 +574,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         if read_data[dest] == src_key {
                             // Already present: report, never overwrite.
                             let existing = read_data[L::value_lane(dest)];
-                            finish(reqs, &mut active, ctx, OpResult::Found(existing));
+                            finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Found(existing));
                         } else if let Some(result) = self.try_claim_slot(
                             ctx,
                             src_bucket,
@@ -531,13 +593,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                                 OpResult::Replaced(v) => OpResult::Found(v),
                                 other => other,
                             };
-                            finish(reqs, &mut active, ctx, mapped);
+                            finish(reqs, &mut active, ctx, retries[src_lane],mapped);
                         }
                         // CAS lost: re-read and retry.
                     } else if let Err(e) =
                         self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
                     {
-                        finish(reqs, &mut active, ctx, OpResult::Failed(e));
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
                 }
 
@@ -551,7 +613,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         let observed = read_data[L::value_lane(dest)];
                         if observed != expecteds[src_lane] {
                             // Comparand mismatch: fail with the actual value.
-                            finish(reqs, &mut active, ctx, OpResult::Found(observed));
+                            finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Found(observed));
                         } else if simt::chaos::should_fail_cas() {
                             // Injected loss: treated as a race, re-evaluated
                             // next round.
@@ -568,14 +630,14 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                                 &mut ctx.counters,
                             );
                             if old == expected_pair {
-                                finish(reqs, &mut active, ctx, OpResult::Replaced(observed));
+                                finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Replaced(observed));
                             } else {
                                 // Raced: re-read and re-evaluate the comparand.
                                 ctx.counters.cas_failures += 1;
                             }
                         }
                     } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
-                        finish(reqs, &mut active, ctx, OpResult::NotFound);
+                        finish(reqs, &mut active, ctx, retries[src_lane],OpResult::NotFound);
                     } else {
                         next = read_data[ADDRESS_LANE];
                     }
@@ -588,7 +650,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             self.try_tombstone(ctx, src_bucket, next, dest, &read_data, src_key)
                         {
                             if kinds[src_lane] == OpKind::Delete {
-                                finish(reqs, &mut active, ctx, OpResult::Deleted(old_value));
+                                finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Deleted(old_value));
                             } else {
                                 deleted_count[src_lane] += 1;
                                 // Re-read this slab: more matches may remain.
@@ -602,13 +664,19 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         } else {
                             OpResult::DeletedCount(deleted_count[src_lane])
                         };
-                        finish(reqs, &mut active, ctx, result);
+                        finish(reqs, &mut active, ctx, retries[src_lane],result);
                     } else {
                         next = read_data[ADDRESS_LANE];
                     }
                 }
 
                 OpKind::None => unreachable!("idle lanes never enter the work queue"),
+            }
+
+            // One slab-chain hop was taken this round on behalf of the
+            // source lane's request (telemetry only).
+            if next != next_before {
+                chain_steps[src_lane] += 1;
             }
 
             // Bound the retry loop: every lost (or injected) CAS in this
@@ -622,6 +690,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         reqs,
                         &mut active,
                         ctx,
+                        retries[src_lane],
                         OpResult::Failed(TableError::RetryBudgetExhausted {
                             budget: RETRY_BUDGET,
                         }),

@@ -7,6 +7,7 @@
 
 use std::collections::HashSet;
 
+use simt::telemetry::{BucketStat, Heatmap, Trace};
 use simt::WarpCtx;
 use slab_alloc::{is_allocated_ptr, SlabAllocator, BASE_SLAB, EMPTY_PTR};
 
@@ -27,6 +28,9 @@ pub struct AuditReport {
     pub allocator_slabs: u64,
     /// Longest bucket chain (in slabs, counting the base slab).
     pub max_chain: usize,
+    /// Per-bucket occupancy observed during the walk, in bucket order.
+    /// Feeds [`SlabHash::contention_heatmap`].
+    pub bucket_stats: Vec<BucketStat>,
 }
 
 impl AuditReport {
@@ -140,11 +144,14 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         let mut tombstones = 0u64;
         let mut chained = 0u64;
         let mut max_chain = 0usize;
+        let mut bucket_stats = Vec::with_capacity(self.num_buckets() as usize);
         for b in 0..self.num_buckets() {
             let mut chain_len = 0usize;
             let mut violation = None;
             let mut base_aux = EMPTY_KEY;
             let mut this_chain = Vec::new();
+            let mut bucket_live = 0u32;
+            let mut bucket_tombstones = 0u32;
             self.walk_bucket(b, |ptr, data| {
                 chain_len += 1;
                 if ptr != BASE_SLAB {
@@ -169,11 +176,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                 for e in 0..L::ELEMS_PER_SLAB as usize {
                     match data[L::key_lane(e)] {
                         EMPTY_KEY => {}
-                        DELETED_KEY => tombstones += 1,
-                        _ => live += 1,
+                        DELETED_KEY => bucket_tombstones += 1,
+                        _ => bucket_live += 1,
                     }
                 }
             });
+            live += u64::from(bucket_live);
+            tombstones += u64::from(bucket_tombstones);
             // The base slab's aux lane is the tail hint (§III-C extension):
             // empty, or a pointer into this bucket's own chain.
             if base_aux != EMPTY_KEY && !this_chain.contains(&base_aux) {
@@ -185,6 +194,12 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                 return Err(v);
             }
             max_chain = max_chain.max(chain_len);
+            bucket_stats.push(BucketStat {
+                bucket: b,
+                live: bucket_live,
+                tombstones: bucket_tombstones,
+                chain_slabs: chain_len as u32,
+            });
         }
         Ok(AuditReport {
             live_elements: live,
@@ -192,7 +207,23 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             chained_slabs: chained,
             allocator_slabs: self.allocator().allocated_slabs(),
             max_chain,
+            bucket_stats,
         })
+    }
+
+    /// Builds a per-bucket contention heatmap from an audit's structural
+    /// occupancy, optionally attributing each bucket's observed CAS failures
+    /// from a launch [`Trace`] recorded against this table.
+    ///
+    /// The audit contributes the static component (live keys, tombstones,
+    /// chain depth); the trace contributes the dynamic one (retries per
+    /// bucket). See DESIGN.md §9 for the scoring formula.
+    pub fn contention_heatmap(&self, audit: &AuditReport, trace: Option<&Trace>) -> Heatmap {
+        let mut heatmap = Heatmap::new(&audit.bucket_stats);
+        if let Some(trace) = trace {
+            heatmap.attribute_cas_failures(&trace.cas_failures_by_bucket());
+        }
+        heatmap
     }
 }
 

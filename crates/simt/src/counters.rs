@@ -57,23 +57,44 @@ pub struct PerfCounters {
 
 impl PerfCounters {
     /// Merges another counter block into this one.
+    ///
+    /// Implemented by exhaustively destructuring `other`: adding a counter
+    /// field without accumulating it here is a compile error, not a
+    /// silently-dropped statistic.
     #[inline]
     pub fn merge(&mut self, other: &PerfCounters) {
-        self.slab_reads += other.slab_reads;
-        self.sector_reads += other.sector_reads;
-        self.sector_writes += other.sector_writes;
-        self.atomics += other.atomics;
-        self.atomic_exchanges += other.atomic_exchanges;
-        self.warp_rounds += other.warp_rounds;
-        self.ops += other.ops;
-        self.allocations += other.allocations;
-        self.deallocations += other.deallocations;
-        self.resident_changes += other.resident_changes;
-        self.cas_failures += other.cas_failures;
-        self.divergent_steps += other.divergent_steps;
-        self.shared_lookups += other.shared_lookups;
-        self.lock_acquisitions += other.lock_acquisitions;
-        self.retry_exhaustions += other.retry_exhaustions;
+        let PerfCounters {
+            slab_reads,
+            sector_reads,
+            sector_writes,
+            atomics,
+            atomic_exchanges,
+            warp_rounds,
+            ops,
+            allocations,
+            deallocations,
+            resident_changes,
+            cas_failures,
+            divergent_steps,
+            shared_lookups,
+            lock_acquisitions,
+            retry_exhaustions,
+        } = *other;
+        self.slab_reads += slab_reads;
+        self.sector_reads += sector_reads;
+        self.sector_writes += sector_writes;
+        self.atomics += atomics;
+        self.atomic_exchanges += atomic_exchanges;
+        self.warp_rounds += warp_rounds;
+        self.ops += ops;
+        self.allocations += allocations;
+        self.deallocations += deallocations;
+        self.resident_changes += resident_changes;
+        self.cas_failures += cas_failures;
+        self.divergent_steps += divergent_steps;
+        self.shared_lookups += shared_lookups;
+        self.lock_acquisitions += lock_acquisitions;
+        self.retry_exhaustions += retry_exhaustions;
     }
 
     /// Total bytes moved through the memory system under the transaction
@@ -155,21 +176,28 @@ mod tests {
             retry_exhaustions: 15,
         };
         let doubled = a + a;
-        assert_eq!(doubled.slab_reads, 2);
-        assert_eq!(doubled.sector_reads, 4);
-        assert_eq!(doubled.sector_writes, 6);
-        assert_eq!(doubled.atomics, 8);
-        assert_eq!(doubled.atomic_exchanges, 28);
-        assert_eq!(doubled.warp_rounds, 10);
-        assert_eq!(doubled.ops, 12);
-        assert_eq!(doubled.allocations, 14);
-        assert_eq!(doubled.deallocations, 16);
-        assert_eq!(doubled.resident_changes, 18);
-        assert_eq!(doubled.cas_failures, 20);
-        assert_eq!(doubled.divergent_steps, 22);
-        assert_eq!(doubled.shared_lookups, 24);
-        assert_eq!(doubled.lock_acquisitions, 26);
-        assert_eq!(doubled.retry_exhaustions, 30);
+        // Exhaustive by construction: both the input literal above and this
+        // expected literal name every field (no `..Default::default()`), so
+        // adding a counter without extending this test fails to compile,
+        // and the whole-struct equality checks every field's merge.
+        let expected = PerfCounters {
+            slab_reads: 2,
+            sector_reads: 4,
+            sector_writes: 6,
+            atomics: 8,
+            atomic_exchanges: 28,
+            warp_rounds: 10,
+            ops: 12,
+            allocations: 14,
+            deallocations: 16,
+            resident_changes: 18,
+            cas_failures: 20,
+            divergent_steps: 22,
+            shared_lookups: 24,
+            lock_acquisitions: 26,
+            retry_exhaustions: 30,
+        };
+        assert_eq!(doubled, expected);
     }
 
     #[test]

@@ -14,29 +14,73 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use telemetry::{EventKind, Histograms, WarpTracer, LAUNCH_WARP};
+
 use crate::counters::PerfCounters;
 use crate::warp::WARP_SIZE;
 
 /// Per-warp execution context handed to kernels.
 ///
 /// The context is exclusive to one warp for the duration of its execution, so
-/// counter updates are plain (non-atomic) increments; blocks are merged when
-/// the launch completes.
+/// counter updates are plain (non-atomic) increments and histogram/trace
+/// recording touches only private storage; blocks are merged (and trace rings
+/// flushed) when the launch completes.
 pub struct WarpCtx {
     /// Global warp id within the launch (the paper's allocator hashes this to
     /// pick resident memory blocks).
     pub warp_id: usize,
     /// Performance counters for this warp.
     pub counters: PerfCounters,
+    /// Work-distribution histograms for this warp.
+    pub histograms: Histograms,
+    /// Trace recorder, present when the launching thread had an active
+    /// [`telemetry::TraceSession`].
+    pub tracer: Option<WarpTracer>,
+    /// `counters.ops` when the current warp chunk began (for the
+    /// `warp_end` event's ops delta).
+    ops_at_warp_begin: u64,
 }
 
 impl WarpCtx {
-    /// Creates a context for unit tests and single-warp drivers.
+    /// Creates a context for unit tests and single-warp drivers. Picks up
+    /// the calling thread's active trace session, if any.
     pub fn for_test(warp_id: usize) -> Self {
+        Self::fresh(warp_id)
+    }
+
+    /// A fresh context bound to the calling thread's trace session.
+    fn fresh(warp_id: usize) -> Self {
         Self {
             warp_id,
             counters: PerfCounters::default(),
+            histograms: Histograms::default(),
+            tracer: telemetry::current_session()
+                .as_ref()
+                .map(telemetry::SessionHandle::tracer),
+            ops_at_warp_begin: 0,
         }
+    }
+
+    /// Records a trace event attributed to this warp. A no-op without an
+    /// active trace session, so instrumented hot paths stay cheap.
+    #[inline]
+    pub fn trace(&mut self, kind: EventKind) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(self.warp_id as u32, kind);
+        }
+    }
+
+    /// Marks the start of one warp chunk (`warp_begin` event).
+    fn begin_warp(&mut self) {
+        self.ops_at_warp_begin = self.counters.ops;
+        self.trace(EventKind::WarpBegin);
+    }
+
+    /// Marks the end of one warp chunk (`warp_end` event with the chunk's
+    /// completed-op count).
+    fn end_warp(&mut self) {
+        let ops = (self.counters.ops - self.ops_at_warp_begin) as u32;
+        self.trace(EventKind::WarpEnd { ops });
     }
 }
 
@@ -46,6 +90,8 @@ impl WarpCtx {
 pub struct LaunchReport {
     /// Counters merged across all warps.
     pub counters: PerfCounters,
+    /// Work-distribution histograms merged across all warps.
+    pub histograms: Histograms,
     /// Wall-clock time the simulation took on the CPU.
     pub wall: Duration,
     /// Number of warps executed.
@@ -193,7 +239,11 @@ impl Grid {
         let warps = chunks.len();
         let queue = parking_lot::Mutex::new(chunks.into_iter());
         let containment = Containment::default();
-        let counters = self.run_warps(warps, |warp_ctx| loop {
+        let session = telemetry::current_session();
+        if let Some(s) = &session {
+            s.emit(LAUNCH_WARP, EventKind::LaunchBegin { warps: warps as u32 });
+        }
+        let (counters, histograms) = self.run_warps(warps, |warp_ctx| loop {
             if containment.poisoned() {
                 break;
             }
@@ -201,15 +251,22 @@ impl Grid {
             match next {
                 Some((warp_id, chunk)) => {
                     warp_ctx.warp_id = warp_id;
-                    if !containment.run_warp(warp_id, || kernel(warp_ctx, chunk)) {
+                    warp_ctx.begin_warp();
+                    let ok = containment.run_warp(warp_id, || kernel(warp_ctx, chunk));
+                    warp_ctx.end_warp();
+                    if !ok {
                         break;
                     }
                 }
                 None => break,
             }
         });
+        if let Some(s) = &session {
+            s.emit(LAUNCH_WARP, EventKind::LaunchEnd { warps: warps as u32 });
+        }
         containment.into_result(LaunchReport {
             counters,
+            histograms,
             wall: start.elapsed(),
             warps,
         })
@@ -243,7 +300,16 @@ impl Grid {
         let start = Instant::now();
         let next_warp = AtomicUsize::new(0);
         let containment = Containment::default();
-        let counters = self.run_warps(num_warps, |warp_ctx| loop {
+        let session = telemetry::current_session();
+        if let Some(s) = &session {
+            s.emit(
+                LAUNCH_WARP,
+                EventKind::LaunchBegin {
+                    warps: num_warps as u32,
+                },
+            );
+        }
+        let (counters, histograms) = self.run_warps(num_warps, |warp_ctx| loop {
             if containment.poisoned() {
                 break;
             }
@@ -252,40 +318,54 @@ impl Grid {
                 break;
             }
             warp_ctx.warp_id = warp_id;
-            if !containment.run_warp(warp_id, || kernel(warp_ctx)) {
+            warp_ctx.begin_warp();
+            let ok = containment.run_warp(warp_id, || kernel(warp_ctx));
+            warp_ctx.end_warp();
+            if !ok {
                 break;
             }
         });
+        if let Some(s) = &session {
+            s.emit(
+                LAUNCH_WARP,
+                EventKind::LaunchEnd {
+                    warps: num_warps as u32,
+                },
+            );
+        }
         containment.into_result(LaunchReport {
             counters,
+            histograms,
             wall: start.elapsed(),
             warps: num_warps,
         })
     }
 
     /// Spawns the executor threads, runs `body` on each with a fresh warp
-    /// context, and merges the resulting counters. Bodies must not unwind
-    /// (the `try_` launch entry points catch per-warp panics before they
-    /// reach here).
-    fn run_warps<B>(&self, expected_warps: usize, body: B) -> PerfCounters
+    /// context, and merges the resulting counter and histogram blocks.
+    /// Bodies must not unwind (the `try_` launch entry points catch
+    /// per-warp panics before they reach here).
+    fn run_warps<B>(&self, expected_warps: usize, body: B) -> (PerfCounters, Histograms)
     where
         B: Fn(&mut WarpCtx) + Sync,
     {
         // Don't spawn more executors than there are warps to run.
         let executors = self.num_threads.min(expected_warps.max(1));
         if executors == 1 {
-            let mut ctx = WarpCtx {
-                warp_id: 0,
-                counters: PerfCounters::default(),
-            };
+            let mut ctx = WarpCtx::fresh(0);
             body(&mut ctx);
-            return ctx.counters;
+            // `ctx` drops after the return value is built, flushing its
+            // trace ring to the session sink before the launch returns.
+            return (ctx.counters, ctx.histograms);
         }
-        let merged = parking_lot::Mutex::new(PerfCounters::default());
+        let merged = parking_lot::Mutex::new((PerfCounters::default(), Histograms::default()));
         // Failure injection is enrolled per thread; executors inherit the
         // launching thread's enrollment so faults reach exactly the kernels
-        // launched under a ChaosGuard (and never a sibling test's).
+        // launched under a ChaosGuard (and never a sibling test's). Trace
+        // sessions are likewise captured from the launching thread: each
+        // executor records into its own ring bound to that session.
         let enrolled = crate::chaos::thread_participates();
+        let session = telemetry::current_session();
         std::thread::scope(|scope| {
             for _ in 0..executors {
                 scope.spawn(|| {
@@ -293,9 +373,14 @@ impl Grid {
                     let mut ctx = WarpCtx {
                         warp_id: usize::MAX,
                         counters: PerfCounters::default(),
+                        histograms: Histograms::default(),
+                        tracer: session.as_ref().map(telemetry::SessionHandle::tracer),
+                        ops_at_warp_begin: 0,
                     };
                     body(&mut ctx);
-                    merged.lock().merge(&ctx.counters);
+                    let mut blocks = merged.lock();
+                    blocks.0.merge(&ctx.counters);
+                    blocks.1.merge(&ctx.histograms);
                 });
             }
         });

@@ -15,7 +15,10 @@
 //!   across CPU cores (real races, real lock-freedom);
 //! * [`counters`] — exact transaction accounting per warp;
 //! * [`model`] — a calibrated roofline model of the paper's Tesla K40c that
-//!   converts counted transactions into estimated device time.
+//!   converts counted transactions into estimated device time;
+//! * [`telemetry`] (re-exported crate) — launch traces, work-distribution
+//!   histograms, and contention heatmaps, collected per warp and merged
+//!   after the launch exactly like counter blocks.
 //!
 //! ## Example: a warp searching its lanes
 //!
@@ -41,9 +44,11 @@ pub mod memory;
 pub mod model;
 pub mod warp;
 
+pub use telemetry;
+
 pub use chaos::{disable_chaos, set_chaos, ChaosGuard, FaultPlan};
 pub use counters::PerfCounters;
 pub use grid::{Grid, LaunchError, LaunchReport, WarpCtx};
 pub use memory::{pack_pair, unpack_pair, SlabStorage, SLAB_BYTES, WORDS_PER_SLAB};
-pub use model::{GpuEstimate, GpuModel};
+pub use model::{GpuEstimate, GpuModel, ResourceBreakdown};
 pub use warp::{ballot, ballot_eq, ffs, lanes_below, popc, shfl, Lane, WARP_SIZE};

@@ -120,16 +120,20 @@ impl GpuModel {
         let t_scattered = scattered_bytes / (self.scattered_bw * boost);
         let t_atomic = c.atomics as f64 / self.atomic_rate
             + c.atomic_exchanges as f64 / (self.exchange_rate * boost);
-        let t_issue = c.warp_rounds as f64 / self.round_rate
-            + c.divergent_steps as f64 / self.divergent_rate
-            + c.shared_lookups as f64 / self.shared_lookup_rate;
+        let t_issue =
+            c.warp_rounds as f64 / self.round_rate + c.divergent_steps as f64 / self.divergent_rate;
+        let t_shared = c.shared_lookups as f64 / self.shared_lookup_rate;
         let t_lock = c.lock_acquisitions as f64 * self.lock_cost_s;
 
+        // The roofline max keeps its historical five components: shared-
+        // memory decodes sit on the issue pipeline's critical path, so they
+        // fold into "issue" for bounding purposes. The breakdown below
+        // splits them back out for attribution.
         let components = [
             ("coalesced-bw", t_coalesced),
             ("scattered-bw", t_scattered),
             ("atomics", t_atomic),
-            ("issue", t_issue),
+            ("issue", t_issue + t_shared),
             ("serial-lock", t_lock),
         ];
         let (bound, time_s) = components
@@ -143,12 +147,75 @@ impl GpuModel {
             bound,
             ops: c.ops,
             in_l2,
+            breakdown: ResourceBreakdown {
+                coalesced_s: t_coalesced,
+                scattered_s: t_scattered,
+                atomic_s: t_atomic,
+                issue_s: t_issue,
+                shared_s: t_shared,
+                lock_s: t_lock,
+            },
         }
     }
 
     /// Convenience: modeled throughput in operations per second.
     pub fn ops_per_sec(&self, c: &PerfCounters, working_set_bytes: u64) -> f64 {
         self.estimate(c, working_set_bytes).mops() * 1e6
+    }
+}
+
+/// Per-resource time demands behind a roofline estimate.
+///
+/// Each field is the time the counted transaction stream would need if the
+/// named resource were the only constraint. The roofline takes the max;
+/// the breakdown keeps all six so reports can attribute *where* the
+/// modeled time goes. [`ResourceBreakdown::fractions`] normalizes them to
+/// shares of the total demand (summing to 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceBreakdown {
+    /// Coalesced 128 B slab traffic vs. streaming bandwidth.
+    pub coalesced_s: f64,
+    /// Scattered 32 B sector traffic vs. random-access bandwidth.
+    pub scattered_s: f64,
+    /// Compare- and exchange-class atomics vs. their sustained rates.
+    pub atomic_s: f64,
+    /// Warp-cooperative rounds and divergent steps vs. issue throughput.
+    pub issue_s: f64,
+    /// Shared-memory address decodes (billed under "issue" in the roofline
+    /// max, split out here).
+    pub shared_s: f64,
+    /// Serialized device-wide lock acquisitions.
+    pub lock_s: f64,
+}
+
+impl ResourceBreakdown {
+    /// The six `(name, seconds)` components, in fixed report order.
+    pub fn times(&self) -> [(&'static str, f64); 6] {
+        [
+            ("coalesced", self.coalesced_s),
+            ("scattered", self.scattered_s),
+            ("atomic", self.atomic_s),
+            ("issue", self.issue_s),
+            ("shared", self.shared_s),
+            ("lock", self.lock_s),
+        ]
+    }
+
+    /// Sum of all per-resource demands (≥ the roofline time, since the
+    /// roofline takes the max, not the sum).
+    pub fn total_demand(&self) -> f64 {
+        self.times().iter().map(|(_, t)| t).sum()
+    }
+
+    /// Each resource's share of the total demand, in [`Self::times`] order.
+    /// Sums to exactly 1 when any work was counted; all zeros otherwise.
+    pub fn fractions(&self) -> [(&'static str, f64); 6] {
+        let total = self.total_demand();
+        let mut out = self.times();
+        for (_, t) in out.iter_mut() {
+            *t = if total > 0.0 { *t / total } else { 0.0 };
+        }
+        out
     }
 }
 
@@ -164,6 +231,8 @@ pub struct GpuEstimate {
     pub ops: u64,
     /// Whether the L2-resident boost applied.
     pub in_l2: bool,
+    /// Full per-resource time attribution behind the roofline max.
+    pub breakdown: ResourceBreakdown,
 }
 
 impl GpuEstimate {
@@ -366,5 +435,62 @@ mod tests {
         let est = model().estimate(&PerfCounters::default(), 0);
         assert_eq!(est.time_s, 0.0);
         assert_eq!(est.mops(), 0.0);
+        assert_eq!(est.breakdown.total_demand(), 0.0);
+        assert!(est.breakdown.fractions().iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one_and_rank_sensibly() {
+        let n = 1u64 << 22;
+        let c = PerfCounters {
+            ops: n,
+            slab_reads: n,
+            warp_rounds: n,
+            atomics: n,
+            shared_lookups: n,
+            ..Default::default()
+        };
+        let est = model().estimate(&c, 64 << 20);
+        let fractions = est.breakdown.fractions();
+        let sum: f64 = fractions.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "fractions sum to {sum}");
+        let get = |name: &str| {
+            fractions
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, f)| f)
+                .unwrap()
+        };
+        // CAS atomics are the slowest resource in this stream.
+        assert!(get("atomic") > get("issue"));
+        assert!(get("atomic") > get("coalesced"));
+        assert!(get("shared") > 0.0 && get("scattered") == 0.0 && get("lock") == 0.0);
+    }
+
+    #[test]
+    fn breakdown_is_consistent_with_roofline_max() {
+        let n = 1u64 << 20;
+        let c = PerfCounters {
+            ops: n,
+            slab_reads: n,
+            warp_rounds: n,
+            shared_lookups: n,
+            atomics: n / 4,
+            ..Default::default()
+        };
+        let est = model().estimate(&c, u64::MAX);
+        let b = est.breakdown;
+        // The roofline time is the max over the five bounding components,
+        // with shared folded into issue.
+        let bounding = [
+            b.coalesced_s,
+            b.scattered_s,
+            b.atomic_s,
+            b.issue_s + b.shared_s,
+            b.lock_s,
+        ];
+        let max = bounding.iter().copied().fold(0.0f64, f64::max);
+        assert!((est.time_s - max).abs() < 1e-18);
+        assert!(b.total_demand() >= est.time_s);
     }
 }

@@ -243,6 +243,7 @@ impl SlabAllocator for SlabAlloc {
         // without success means the allocator is genuinely exhausted.
         let max_attempts = 2 * self.config.super_blocks * self.config.blocks_per_super;
         let mut failures = 0u32;
+        let resident_before = ctx.counters.resident_changes;
         loop {
             // An allocation round is heavier than a plain traversal round:
             // ballot over the cached bitmaps, bit scan, CAS, 32-bit address
@@ -277,6 +278,11 @@ impl SlabAllocator for SlabAlloc {
                 Ok(()) => {
                     state.cached[lane] = word | (1 << bit);
                     ctx.counters.allocations += 1;
+                    // Resident-block hops this allocation burned before
+                    // finding space — the allocator's contention signal.
+                    let hops = (ctx.counters.resident_changes - resident_before) as u32;
+                    ctx.histograms.resident_hops.record(u64::from(hops));
+                    ctx.trace(simt::telemetry::EventKind::Alloc { hops });
                     return Ok(SlabAddr {
                         super_block: state.super_block,
                         block: state.block,

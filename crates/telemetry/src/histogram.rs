@@ -1,0 +1,269 @@
+//! Log₂-bucketed histograms for per-op work distributions.
+//!
+//! Counters tell you *how much* work a launch did; histograms tell you how
+//! that work was *distributed* across operations. A [`LogHistogram`] is a
+//! fixed-size array of power-of-two buckets — cheap enough to live in every
+//! warp's context and be merged after the launch exactly like
+//! `PerfCounters` blocks, with no allocation on the hot path.
+//!
+//! Bucket semantics: bucket 0 counts exact zeros, bucket `i ≥ 1` counts
+//! values in `[2^(i−1), 2^i − 1]`, and the last bucket is a catch-all for
+//! everything ≥ 2³². A chain length of 3 therefore lands in bucket 2
+//! (range 2–3), 17 CAS retries land in bucket 5 (range 16–31), and so on.
+
+/// Number of buckets in a [`LogHistogram`]: one zero bucket, 32 power-of-two
+/// buckets, and one catch-all for values ≥ 2³².
+pub const HISTOGRAM_BUCKETS: usize = 34;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// `Copy` on purpose: it lives inside per-warp contexts and launch reports
+/// that are themselves plain-old-data, and merging is an element-wise add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: 0 for zero, otherwise
+    /// `min(33, bit_length(v))` so bucket `i` covers `[2^(i−1), 2^i − 1]`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Accumulates another histogram into this one (used when per-warp
+    /// blocks are merged after a launch).
+    pub fn merge(&mut self, other: &Self) {
+        // Exhaustive destructuring: adding a field without merging it is a
+        // compile error, same discipline as `PerfCounters::merge`.
+        let Self {
+            buckets,
+            count,
+            sum,
+            max,
+        } = other;
+        for (dst, src) in self.buckets.iter_mut().zip(buckets.iter()) {
+            *dst += *src;
+        }
+        self.count += count;
+        self.sum += sum;
+        self.max = self.max.max(*max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts (see module docs for bucket semantics).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Human-readable range label for bucket `i`, e.g. `"0"`, `"1"`,
+    /// `"4–7"`, `"≥2^32"`.
+    pub fn bucket_label(i: usize) -> String {
+        match i {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            x if x < HISTOGRAM_BUCKETS - 1 => {
+                format!("{}–{}", 1u64 << (x - 1), (1u64 << x) - 1)
+            }
+            _ => "≥2^32".to_string(),
+        }
+    }
+
+    /// Renders the non-empty buckets as an aligned bar chart, one line per
+    /// bucket, suitable for terminal output.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!(
+            "{title}: n={} mean={:.2} max={}\n",
+            self.count,
+            self.mean(),
+            self.max
+        );
+        if self.count == 0 {
+            out.push_str("  (empty)\n");
+            return out;
+        }
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let bar_len = ((n as f64 / peak as f64) * 40.0).ceil() as usize;
+            out.push_str(&format!(
+                "  {:>9} {:>10} {}\n",
+                Self::bucket_label(i),
+                n,
+                "#".repeat(bar_len.max(1))
+            ));
+        }
+        out
+    }
+}
+
+/// The fixed set of per-launch work histograms collected by the simulator.
+///
+/// Merged across warps after a launch exactly like `PerfCounters`, and
+/// surfaced through the launch report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histograms {
+    /// Slabs visited per finished operation (1 = resolved in the base slab).
+    pub chain_slabs: LogHistogram,
+    /// Warp rounds a finished operation was the source lane's work for.
+    pub rounds_per_op: LogHistogram,
+    /// CAS failures charged to a finished operation before it completed.
+    pub retries_per_op: LogHistogram,
+    /// Resident-block hops the allocator made per successful allocation.
+    pub resident_hops: LogHistogram,
+}
+
+impl Histograms {
+    /// Accumulates another set of histograms into this one.
+    pub fn merge(&mut self, other: &Self) {
+        // Exhaustive destructuring: a new histogram field that is not
+        // merged here fails to compile.
+        let Self {
+            chain_slabs,
+            rounds_per_op,
+            retries_per_op,
+            resident_hops,
+        } = other;
+        self.chain_slabs.merge(chain_slabs);
+        self.rounds_per_op.merge(rounds_per_op);
+        self.retries_per_op.merge(retries_per_op);
+        self.resident_hops.merge(resident_hops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(7), 3);
+        assert_eq!(LogHistogram::bucket_index(8), 4);
+        assert_eq!(LogHistogram::bucket_index(u32::MAX as u64), 32);
+        assert_eq!(LogHistogram::bucket_index(1 << 32), 33);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 33);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 3, 8, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 120);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[4], 2); // the two 8s
+    }
+
+    #[test]
+    fn merge_is_element_wise_add() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1010);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.buckets()[LogHistogram::bucket_index(5)], 2);
+    }
+
+    #[test]
+    fn histograms_merge_covers_every_field() {
+        let mut a = Histograms::default();
+        let mut b = Histograms::default();
+        b.chain_slabs.record(1);
+        b.rounds_per_op.record(2);
+        b.retries_per_op.record(3);
+        b.resident_hops.record(4);
+        a.merge(&b);
+        assert_eq!(a.chain_slabs.count(), 1);
+        assert_eq!(a.rounds_per_op.sum(), 2);
+        assert_eq!(a.retries_per_op.sum(), 3);
+        assert_eq!(a.resident_hops.sum(), 4);
+    }
+
+    #[test]
+    fn labels_and_render_are_stable() {
+        assert_eq!(LogHistogram::bucket_label(0), "0");
+        assert_eq!(LogHistogram::bucket_label(1), "1");
+        assert_eq!(LogHistogram::bucket_label(3), "4–7");
+        assert_eq!(LogHistogram::bucket_label(33), "≥2^32");
+        let mut h = LogHistogram::new();
+        h.record(6);
+        let r = h.render("chain");
+        assert!(r.contains("chain"));
+        assert!(r.contains("4–7"));
+        assert!(LogHistogram::new().render("x").contains("(empty)"));
+    }
+}

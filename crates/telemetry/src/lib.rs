@@ -1,0 +1,40 @@
+//! Observability layer for the SlabHash simulator.
+//!
+//! Three complementary views of a launch, all collected with the same
+//! discipline as `PerfCounters` (private per-warp storage, merged once
+//! after the launch, no hot-path synchronization beyond one relaxed
+//! sequence counter):
+//!
+//! 1. **Traces** — structured launch → warp → op events recorded into
+//!    per-executor ring buffers ([`WarpTracer`]) and flushed to a
+//!    [`TraceSink`]. Exportable as JSON Lines and chrome://tracing
+//!    `trace_event` JSON ([`Trace`]). Timestamps are logical sequence
+//!    numbers, so a fixed chaos seed plus a sequential grid replays to a
+//!    byte-identical stream.
+//! 2. **Histograms** — log₂-bucketed distributions ([`LogHistogram`],
+//!    [`Histograms`]) of chain length, warp rounds per op, CAS retries per
+//!    op, and allocator resident-block hops, merged into every launch
+//!    report.
+//! 3. **Heatmaps** — per-bucket contention attribution ([`Heatmap`])
+//!    fusing audit-side structure ([`BucketStat`]) with trace-side CAS
+//!    retry counts.
+//!
+//! This crate is deliberately free of simulator dependencies; `simt` and
+//! the table crates hook into it, not the other way round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod heatmap;
+pub mod histogram;
+pub mod sink;
+pub mod trace;
+
+pub use event::{EventKind, TraceEvent, LAUNCH_WARP};
+pub use heatmap::{BucketStat, Heatmap, HotBucket};
+pub use histogram::{Histograms, LogHistogram, HISTOGRAM_BUCKETS};
+pub use sink::{
+    current_session, MemorySink, SessionHandle, TraceConfig, TraceSession, TraceSink, WarpTracer,
+};
+pub use trace::Trace;

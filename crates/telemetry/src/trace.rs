@@ -1,0 +1,257 @@
+//! A harvested event stream and its exporters (JSON Lines,
+//! chrome://tracing).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::event::{EventKind, TraceEvent, LAUNCH_WARP};
+
+/// An immutable, seq-sorted event stream harvested from a
+/// [`crate::TraceSession`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Wraps a seq-sorted event stream. `dropped` is the number of events
+    /// lost to ring overflow.
+    pub fn new(events: Vec<TraceEvent>, dropped: u64) -> Self {
+        debug_assert!(events.windows(2).all(|w| w[0].seq <= w[1].seq));
+        Self { events, dropped }
+    }
+
+    /// The events, sorted by logical timestamp.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events lost to ring overflow. When nonzero, reconciliation against
+    /// `PerfCounters` totals is only a lower bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of per-operation (`op`) events in the trace.
+    pub fn op_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Op { .. }))
+            .count() as u64
+    }
+
+    /// Sum of CAS retries over all `op` events.
+    pub fn retry_sum(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Op { retries, .. } => retries as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Per-bucket CAS-retry totals, sorted by bucket id — the trace-side
+    /// input to contention heatmaps.
+    pub fn cas_failures_by_bucket(&self) -> Vec<(u32, u64)> {
+        let mut map: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::Op {
+                bucket, retries, ..
+            } = e.kind
+            {
+                if retries > 0 {
+                    *map.entry(bucket).or_insert(0) += retries as u64;
+                }
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Serializes the trace as JSON Lines, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_jsonl_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the trace in chrome://tracing `trace_event` format
+    /// (load the file via the "Load" button in `chrome://tracing`, or in
+    /// Perfetto's legacy trace viewer).
+    ///
+    /// Mapping: each warp is a track (`tid` = warp id); `warp_begin` /
+    /// `warp_end` pairs become complete (`"ph":"X"`) spans, `op` and
+    /// `alloc` events become thread-scoped instants (`"ph":"i"`) carrying
+    /// their payload in `args`, and `launch_begin` / `launch_end` pairs
+    /// become spans on a dedicated launch track. Timestamps are the
+    /// logical sequence numbers, interpreted by the viewer as
+    /// microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut entries: Vec<String> = Vec::new();
+        let mut open_warps: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut open_launches: Vec<u64> = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::LaunchBegin { .. } => open_launches.push(e.seq),
+                EventKind::LaunchEnd { warps } => {
+                    if let Some(begin) = open_launches.pop() {
+                        entries.push(format!(
+                            "{{\"name\":\"launch\",\"cat\":\"launch\",\"ph\":\"X\",\
+                             \"ts\":{begin},\"dur\":{},\"pid\":0,\"tid\":{LAUNCH_WARP},\
+                             \"args\":{{\"warps\":{warps}}}}}",
+                            (e.seq - begin).max(1)
+                        ));
+                    }
+                }
+                EventKind::WarpBegin => {
+                    open_warps.insert(e.warp, e.seq);
+                }
+                EventKind::WarpEnd { ops } => {
+                    if let Some(begin) = open_warps.remove(&e.warp) {
+                        entries.push(format!(
+                            "{{\"name\":\"warp\",\"cat\":\"warp\",\"ph\":\"X\",\
+                             \"ts\":{begin},\"dur\":{},\"pid\":0,\"tid\":{},\
+                             \"args\":{{\"ops\":{ops}}}}}",
+                            (e.seq - begin).max(1),
+                            e.warp
+                        ));
+                    }
+                }
+                EventKind::Op {
+                    op,
+                    key,
+                    bucket,
+                    rounds,
+                    retries,
+                    chain,
+                    status,
+                } => entries.push(format!(
+                    "{{\"name\":\"{op}\",\"cat\":\"op\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"key\":{key},\
+                     \"bucket\":{bucket},\"rounds\":{rounds},\"retries\":{retries},\
+                     \"chain\":{chain},\"status\":\"{status}\"}}}}",
+                    e.seq, e.warp
+                )),
+                EventKind::Alloc { hops } => entries.push(format!(
+                    "{{\"name\":\"alloc\",\"cat\":\"alloc\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"hops\":{hops}}}}}",
+                    e.seq, e.warp
+                )),
+            }
+        }
+        format!("{{\"traceEvents\":[{}]}}", entries.join(","))
+    }
+
+    /// Writes [`Trace::to_jsonl`] output to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from creating or writing the file.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Writes [`Trace::to_chrome_trace`] output to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from creating or writing the file.
+    pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_chrome_trace().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mk = |seq, warp, kind| TraceEvent { seq, warp, kind };
+        Trace::new(
+            vec![
+                mk(0, LAUNCH_WARP, EventKind::LaunchBegin { warps: 2 }),
+                mk(1, 0, EventKind::WarpBegin),
+                mk(
+                    2,
+                    0,
+                    EventKind::Op {
+                        op: "replace",
+                        key: 10,
+                        bucket: 1,
+                        rounds: 2,
+                        retries: 3,
+                        chain: 1,
+                        status: "inserted",
+                    },
+                ),
+                mk(3, 0, EventKind::Alloc { hops: 1 }),
+                mk(
+                    4,
+                    0,
+                    EventKind::Op {
+                        op: "search",
+                        key: 10,
+                        bucket: 1,
+                        rounds: 1,
+                        retries: 0,
+                        chain: 1,
+                        status: "found",
+                    },
+                ),
+                mk(5, 0, EventKind::WarpEnd { ops: 2 }),
+                mk(6, LAUNCH_WARP, EventKind::LaunchEnd { warps: 2 }),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn op_count_and_retry_sum() {
+        let t = sample();
+        assert_eq!(t.op_count(), 2);
+        assert_eq!(t.retry_sum(), 3);
+        assert_eq!(t.cas_failures_by_bucket(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let t = sample();
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), t.events().len());
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_keeps_instants() {
+        let t = sample();
+        let json = t.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // 1 launch span + 1 warp span + 2 op instants + 1 alloc instant.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 3);
+        assert!(json.contains("\"name\":\"launch\""));
+        assert!(json.contains("\"name\":\"warp\""));
+        assert!(json.contains("\"status\":\"inserted\""));
+    }
+
+    #[test]
+    fn empty_trace_exports_are_valid() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.to_jsonl(), "");
+        assert_eq!(t.to_chrome_trace(), "{\"traceEvents\":[]}");
+    }
+}
