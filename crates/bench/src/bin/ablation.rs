@@ -61,8 +61,8 @@ fn strict(n: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
         // Chains ~2 slabs so the variants actually diverge in cost.
         let buckets = (n as u32) / (15 * 2);
         let t = SlabHash::<KeyValue>::new(SlabHashConfig {
-            num_buckets: buckets,
             seed: 0x57,
+            ..SlabHashConfig::with_buckets(buckets)
         });
         let mut reqs: Vec<Request> = random_pairs(n, 0)
             .into_iter()
@@ -209,8 +209,8 @@ fn slabsize(n: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
         // Same average slab demand β = 0.7 for every M.
         let buckets = ((n as f64) / (L::ELEMS_PER_SLAB as f64 * 0.7)).ceil() as u32;
         let t: SlabHash<L> = SlabHash::<L>::new(SlabHashConfig {
-            num_buckets: buckets,
             seed: 0x51ab,
+            ..SlabHashConfig::with_buckets(buckets)
         });
         let rb = t.bulk_build_keys(keys, grid);
         let (_, rs) = t.bulk_search(keys, grid);
@@ -250,6 +250,7 @@ fn resident(n: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
             fill: EMPTY_KEY,
             resident_threshold: 2,
             light: true,
+            ..SlabAllocConfig::default()
         });
         // Sustained storm: each warp allocates a long run, so concurrently
         // executing warps overlap inside shared memory blocks.

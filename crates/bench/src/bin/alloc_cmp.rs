@@ -142,8 +142,8 @@ fn light_comparison(grid: &simt::Grid, csv: Option<&std::path::Path>) {
         });
         let t = SlabHash::<KeyValue, _>::with_allocator(
             SlabHashConfig {
-                num_buckets: buckets,
                 seed: 0x11,
+                ..SlabHashConfig::with_buckets(buckets)
             },
             alloc,
         );

@@ -222,8 +222,8 @@ fn fig4c(n: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
         let b = ((pb as f64 * scale).round() as u32).max(1);
         let pairs = random_pairs(n, 0);
         let t = SlabHash::<KeyValue>::new(SlabHashConfig {
-            num_buckets: b,
             seed: 0x4c,
+            ..SlabHashConfig::with_buckets(b)
         });
         t.bulk_build(&pairs, grid);
         table.row(vec![

@@ -139,8 +139,8 @@ fn fig7b(total_ops: usize, grid: &simt::Grid, csv: Option<&std::path::Path>) {
 
             // Slab hash, key-only, same bucket count as Misra.
             let slab = SlabHash::<KeyOnly>::new(SlabHashConfig {
-                num_buckets: buckets,
                 seed: 0x7B7,
+                ..SlabHashConfig::with_buckets(buckets)
             });
             slab.bulk_build_keys(&w.initial_keys, grid);
             let mut slab_counters = PerfCounters::default();

@@ -15,14 +15,54 @@
 //! headline property) and expose the same bulk entry points the benchmarks
 //! use. Single operations go through an internal driver warp per call-site
 //! handle ([`SlabMap::handle`]), keeping the hot path allocation-free.
+//!
+//! ## Memory pressure
+//!
+//! Handles created through [`SlabMap::handle_with_policy`] (and the set /
+//! multimap equivalents) self-heal: when an insertion fails with
+//! `OutOfSlabs` or `RetryBudgetExhausted`, the handle runs the table's
+//! [`maintenance`](crate::maintenance) loop — compact tombstoned slabs,
+//! reclaim retired ones, grow the allocator — and then either retries
+//! ([`Block`](crate::maintenance::PressureMode::Block)) or surfaces the
+//! error after one heal pass
+//! ([`Shed`](crate::maintenance::PressureMode::Shed)). Plain
+//! [`SlabMap::handle`] keeps the historical fail-fast behavior.
 
 use simt::{Grid, LaunchReport};
 
 use crate::driver::WarpDriver;
-use crate::entry::{KeyOnly, KeyValue};
+use crate::entry::{EntryLayout, KeyOnly, KeyValue};
 use crate::error::TableError;
 use crate::hash_table::{SlabHash, SlabHashConfig};
+use crate::maintenance::{MaintenancePolicy, MaintenanceReport};
 use crate::ops::{OpResult, Request};
+
+/// Runs `op`, healing and retrying under `policy` when it fails with a
+/// pressure error. `None` policy = historical fail-fast behavior. The
+/// maintenance passes run on `maint_grid` (handles use a sequential grid so
+/// recovery never spawns threads from the caller's context).
+fn with_recovery<L: EntryLayout, T>(
+    table: &SlabHash<L>,
+    policy: Option<&MaintenancePolicy>,
+    maint_grid: &Grid,
+    mut op: impl FnMut() -> Result<T, TableError>,
+) -> Result<T, TableError> {
+    let mut round = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let Some(policy) = policy else {
+                    return Err(e);
+                };
+                if !table.recover(e, policy, maint_grid, round) {
+                    return Err(e);
+                }
+                round += 1;
+            }
+        }
+    }
+}
 
 /// A concurrent map with unique `u32` keys and `u32` values (REPLACE
 /// semantics).
@@ -46,6 +86,8 @@ pub struct SlabMap {
 /// Each handle is one simulated warp; create one per thread of your own.
 pub struct SlabMapHandle<'m> {
     warp: WarpDriver<'m, KeyValue>,
+    policy: Option<MaintenancePolicy>,
+    maint_grid: Grid,
 }
 
 impl SlabMap {
@@ -64,11 +106,41 @@ impl SlabMap {
         }
     }
 
-    /// A handle for single-element operations.
+    /// A handle for single-element operations (fail-fast under pressure).
     pub fn handle(&self) -> SlabMapHandle<'_> {
         SlabMapHandle {
             warp: WarpDriver::new(&self.table),
+            policy: None,
+            maint_grid: Grid::sequential(),
         }
+    }
+
+    /// A self-healing handle: insertions that hit memory pressure run the
+    /// maintenance loop under `policy` (block = heal + retry, shed = heal
+    /// once + fail fast) before surfacing an error.
+    pub fn handle_with_policy(&self, policy: MaintenancePolicy) -> SlabMapHandle<'_> {
+        SlabMapHandle {
+            warp: WarpDriver::new(&self.table),
+            policy: Some(policy),
+            maint_grid: Grid::sequential(),
+        }
+    }
+
+    /// One concurrent self-healing pass: compact, reclaim, grow. Safe to
+    /// call from a background thread while handles keep operating.
+    pub fn maintain(&self, grid: &Grid) -> MaintenanceReport {
+        self.table.maintain(grid)
+    }
+
+    /// Concurrent-safe compaction through `&self` (unlike
+    /// [`SlabMap::compact`], which needs `&mut self` but frees slabs
+    /// immediately).
+    ///
+    /// # Errors
+    /// [`TableError::MaintenanceBusy`] when another flusher holds the lock,
+    /// or the first injected fault when a chaos plan is active.
+    pub fn try_compact(&self, grid: &Grid) -> Result<crate::FlushReport, TableError> {
+        self.table.try_flush(grid)
     }
 
     /// Inserts/updates many pairs concurrently.
@@ -129,16 +201,24 @@ impl SlabMapHandle<'_> {
     /// Panics on a [`TableError`]; use [`SlabMapHandle::checked_insert`]
     /// to recover instead.
     pub fn insert(&mut self, key: u32, value: u32) -> Option<u32> {
-        self.warp.replace(key, value)
+        self.checked_insert(key, value)
+            .unwrap_or_else(|e| panic!("map insert({key}) failed: {e}"))
     }
 
-    /// Fallible insert-or-update; returns the previous value.
+    /// Fallible insert-or-update; returns the previous value. With a
+    /// [`MaintenancePolicy`] (see [`SlabMap::handle_with_policy`]),
+    /// pressure errors trigger heal-and-retry before surfacing.
     ///
     /// # Errors
-    /// The [`TableError`] when the insertion could not complete; the map
-    /// is consistent and holds whatever the key mapped to before.
+    /// The [`TableError`] when the insertion could not complete (after the
+    /// policy's recovery rounds, if any); the map is consistent and holds
+    /// whatever the key mapped to before.
     pub fn checked_insert(&mut self, key: u32, value: u32) -> Result<Option<u32>, TableError> {
-        self.warp.checked_replace(key, value)
+        let table = self.warp.table();
+        let warp = &mut self.warp;
+        with_recovery(table, self.policy.as_ref(), &self.maint_grid, || {
+            warp.checked_replace(key, value)
+        })
     }
 
     /// Looks up a key.
@@ -205,6 +285,8 @@ pub struct SlabSet {
 /// Single-element operation handle for a [`SlabSet`].
 pub struct SlabSetHandle<'s> {
     warp: WarpDriver<'s, KeyOnly>,
+    policy: Option<MaintenancePolicy>,
+    maint_grid: Grid,
 }
 
 impl SlabSet {
@@ -215,11 +297,27 @@ impl SlabSet {
         }
     }
 
-    /// Single-element handle.
+    /// Single-element handle (fail-fast under pressure).
     pub fn handle(&self) -> SlabSetHandle<'_> {
         SlabSetHandle {
             warp: WarpDriver::new(&self.table),
+            policy: None,
+            maint_grid: Grid::sequential(),
         }
+    }
+
+    /// A self-healing handle; see [`SlabMap::handle_with_policy`].
+    pub fn handle_with_policy(&self, policy: MaintenancePolicy) -> SlabSetHandle<'_> {
+        SlabSetHandle {
+            warp: WarpDriver::new(&self.table),
+            policy: Some(policy),
+            maint_grid: Grid::sequential(),
+        }
+    }
+
+    /// One concurrent self-healing pass: compact, reclaim, grow.
+    pub fn maintain(&self, grid: &Grid) -> MaintenanceReport {
+        self.table.maintain(grid)
     }
 
     /// Inserts many keys concurrently.
@@ -264,18 +362,24 @@ impl SlabSetHandle<'_> {
             .unwrap_or_else(|e| panic!("set insert({key}) failed: {e}"))
     }
 
-    /// Fallible insert; `true` if the key was new.
+    /// Fallible insert; `true` if the key was new. With a
+    /// [`MaintenancePolicy`] (see [`SlabSet::handle_with_policy`]),
+    /// pressure errors trigger heal-and-retry before surfacing.
     ///
     /// # Errors
-    /// The [`TableError`] when the insertion could not complete; the set
-    /// membership is unchanged.
+    /// The [`TableError`] when the insertion could not complete (after the
+    /// policy's recovery rounds, if any); the set membership is unchanged.
     pub fn checked_insert(&mut self, key: u32) -> Result<bool, TableError> {
-        match self.warp.run(Request::replace(key, 0)) {
-            OpResult::Inserted => Ok(true),
-            OpResult::Replaced(_) => Ok(false),
-            OpResult::Failed(e) => Err(e),
-            other => unreachable!("set insert returned {other:?}"),
-        }
+        let table = self.warp.table();
+        let warp = &mut self.warp;
+        with_recovery(table, self.policy.as_ref(), &self.maint_grid, || {
+            match warp.run(Request::replace(key, 0)) {
+                OpResult::Inserted => Ok(true),
+                OpResult::Replaced(_) => Ok(false),
+                OpResult::Failed(e) => Err(e),
+                other => unreachable!("set insert returned {other:?}"),
+            }
+        })
     }
 
     /// Membership test.
@@ -308,6 +412,8 @@ pub struct SlabMultiMap {
 /// Single-element operation handle for a [`SlabMultiMap`].
 pub struct SlabMultiMapHandle<'m> {
     warp: WarpDriver<'m, KeyValue>,
+    policy: Option<MaintenancePolicy>,
+    maint_grid: Grid,
 }
 
 impl SlabMultiMap {
@@ -318,11 +424,37 @@ impl SlabMultiMap {
         }
     }
 
-    /// Single-element handle.
+    /// Single-element handle (fail-fast under pressure).
     pub fn handle(&self) -> SlabMultiMapHandle<'_> {
         SlabMultiMapHandle {
             warp: WarpDriver::new(&self.table),
+            policy: None,
+            maint_grid: Grid::sequential(),
         }
+    }
+
+    /// A self-healing handle; see [`SlabMap::handle_with_policy`].
+    pub fn handle_with_policy(&self, policy: MaintenancePolicy) -> SlabMultiMapHandle<'_> {
+        SlabMultiMapHandle {
+            warp: WarpDriver::new(&self.table),
+            policy: Some(policy),
+            maint_grid: Grid::sequential(),
+        }
+    }
+
+    /// One concurrent self-healing pass: compact, reclaim, grow.
+    pub fn maintain(&self, grid: &Grid) -> MaintenanceReport {
+        self.table.maintain(grid)
+    }
+
+    /// Concurrent-safe compaction through `&self`; see
+    /// [`SlabMap::try_compact`].
+    ///
+    /// # Errors
+    /// [`TableError::MaintenanceBusy`] when another flusher holds the lock,
+    /// or the first injected fault when a chaos plan is active.
+    pub fn try_compact(&self, grid: &Grid) -> Result<crate::FlushReport, TableError> {
+        self.table.try_flush(grid)
     }
 
     /// Inserts many (key, value) elements concurrently (duplicates kept).
@@ -363,13 +495,20 @@ impl SlabMultiMapHandle<'_> {
             .unwrap_or_else(|e| panic!("multimap insert({key}) failed: {e}"))
     }
 
-    /// Fallible insert of one (key, value) element.
+    /// Fallible insert of one (key, value) element. With a
+    /// [`MaintenancePolicy`] (see [`SlabMultiMap::handle_with_policy`]),
+    /// pressure errors trigger heal-and-retry before surfacing.
     ///
     /// # Errors
-    /// The [`TableError`] when the insertion could not complete; the
-    /// multimap is consistent and the element was not added.
+    /// The [`TableError`] when the insertion could not complete (after the
+    /// policy's recovery rounds, if any); the multimap is consistent and
+    /// the element was not added.
     pub fn checked_insert(&mut self, key: u32, value: u32) -> Result<(), TableError> {
-        self.warp.checked_insert(key, value)
+        let table = self.warp.table();
+        let warp = &mut self.warp;
+        with_recovery(table, self.policy.as_ref(), &self.maint_grid, || {
+            warp.checked_insert(key, value)
+        })
     }
 
     /// Appends through the tail hint (fast for very long per-key chains).
@@ -480,6 +619,62 @@ mod tests {
         assert_eq!(report.elements_kept, 50);
         assert!(report.slabs_released > 0);
         assert_eq!(map.len(), 50);
+    }
+
+    #[test]
+    fn block_policy_handle_survives_alloc_faults() {
+        // Every chained-slab allocation fails 40% of the time; the block
+        // policy heals (reclaim + grow) and retries until each insert lands.
+        let map = SlabMap::with_buckets(2);
+        let _chaos = simt::ChaosGuard::plan(
+            simt::FaultPlan::seeded(0xB10C).with_alloc_failures(0.4),
+        );
+        let mut h = map.handle_with_policy(MaintenancePolicy::block());
+        for k in 0..300 {
+            assert_eq!(h.checked_insert(k, k).unwrap(), None, "key {k}");
+        }
+        assert_eq!(map.len(), 300);
+    }
+
+    #[test]
+    fn shed_policy_handle_surfaces_pressure_after_one_heal() {
+        let map = SlabMap::with_buckets(1);
+        let mut h = map.handle_with_policy(MaintenancePolicy::shed());
+        // Fill the base slab so the next insert must allocate a chained slab.
+        for k in 0..15 {
+            h.insert(k, k);
+        }
+        let chaos = simt::ChaosGuard::plan(
+            simt::FaultPlan::seeded(0x5EED).with_alloc_failures(1.0),
+        );
+        let err = h.checked_insert(99, 99).unwrap_err();
+        assert!(matches!(err, TableError::OutOfSlabs(_)), "got {err:?}");
+        // The shed pass healed the table; with the faults gone the same
+        // insert goes straight through.
+        drop(chaos);
+        assert_eq!(h.checked_insert(99, 99).unwrap(), None);
+        assert_eq!(map.len(), 16);
+    }
+
+    #[test]
+    fn try_compact_runs_concurrently_with_handles() {
+        let map = SlabMap::with_buckets(4);
+        let grid = Grid::sequential();
+        let mut h = map.handle();
+        for k in 0..300 {
+            h.insert(k, k);
+        }
+        for k in 0..250 {
+            h.remove(k);
+        }
+        let report = map.try_compact(&grid).expect("flush lock free");
+        assert_eq!(report.elements_kept, 50);
+        assert!(report.slabs_released > 0);
+        // Released slabs sit in the retired list until their grace period
+        // elapses; a maintenance pass returns them to the allocator.
+        map.maintain(&grid);
+        assert_eq!(map.len(), 50);
+        map.as_raw().audit().unwrap();
     }
 
     #[test]

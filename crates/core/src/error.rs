@@ -18,13 +18,20 @@ pub enum TableError {
     /// never happened or was returned, so the chain is exactly as it was.
     OutOfSlabs(AllocError),
     /// The operation lost its CAS (or had it spuriously failed by a fault
-    /// plan) more than [`RETRY_BUDGET`](crate::ops::RETRY_BUDGET) times
+    /// plan) more than the table's retry budget (default
+    /// [`RETRY_BUDGET`](crate::ops::RETRY_BUDGET), configurable via
+    /// [`SlabHashConfig::with_retry_budget`](crate::SlabHashConfig::with_retry_budget))
     /// and gave up rather than livelock. Billed to
     /// `PerfCounters::retry_exhaustions`.
     RetryBudgetExhausted {
         /// The budget that was exhausted.
         budget: u32,
     },
+    /// A maintenance pass (incremental compaction) was requested while
+    /// another flusher held the single-flusher lock. Nothing was modified;
+    /// retry after the current pass finishes, or treat it as "maintenance
+    /// already in progress" and move on.
+    MaintenanceBusy,
 }
 
 impl std::fmt::Display for TableError {
@@ -34,6 +41,9 @@ impl std::fmt::Display for TableError {
             TableError::RetryBudgetExhausted { budget } => {
                 write!(f, "retry budget ({budget} attempts) exhausted")
             }
+            TableError::MaintenanceBusy => {
+                write!(f, "another maintenance pass holds the flush lock")
+            }
         }
     }
 }
@@ -42,7 +52,7 @@ impl std::error::Error for TableError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TableError::OutOfSlabs(e) => Some(e),
-            TableError::RetryBudgetExhausted { .. } => None,
+            TableError::RetryBudgetExhausted { .. } | TableError::MaintenanceBusy => None,
         }
     }
 }

@@ -23,6 +23,10 @@ pub struct SlabHashConfig {
     pub num_buckets: u32,
     /// Seed for the universal hash function draw.
     pub seed: u64,
+    /// How many lost/injected CAS retries an operation tolerates before
+    /// failing with [`TableError::RetryBudgetExhausted`](crate::TableError).
+    /// Defaults to [`RETRY_BUDGET`](crate::ops::RETRY_BUDGET).
+    pub retry_budget: u32,
 }
 
 impl SlabHashConfig {
@@ -31,7 +35,17 @@ impl SlabHashConfig {
         Self {
             num_buckets,
             seed: 0x5eed_cafe,
+            retry_budget: crate::ops::RETRY_BUDGET,
         }
+    }
+
+    /// Overrides the per-operation CAS retry budget (see
+    /// [`TableError::RetryBudgetExhausted`](crate::TableError)). Small
+    /// budgets make chaos tests fail fast; large ones ride out heavier
+    /// contention before shedding.
+    pub fn with_retry_budget(mut self, retry_budget: u32) -> Self {
+        self.retry_budget = retry_budget;
+        self
     }
 }
 
@@ -98,6 +112,8 @@ pub struct SlabHash<L: EntryLayout, A: SlabAllocator = SlabAlloc> {
     base: SlabStorage,
     alloc: A,
     hash: UniversalHash,
+    retry_budget: u32,
+    pub(crate) maint: crate::maintenance::MaintenanceState,
     _layout: PhantomData<fn() -> L>,
 }
 
@@ -119,6 +135,7 @@ impl<L: EntryLayout> SlabHash<L, SlabAlloc> {
             blocks_per_super,
             initial_active: 2,
             fill: EMPTY_KEY,
+            low_free_watermark: 1024,
             ..SlabAllocConfig::default()
         });
         Self::with_allocator(config, alloc)
@@ -128,7 +145,10 @@ impl<L: EntryLayout> SlabHash<L, SlabAlloc> {
     /// `target_utilization` (paper §VI-A's sweep methodology).
     pub fn for_expected_elements(n: usize, target_utilization: f64, seed: u64) -> Self {
         let num_buckets = buckets_for_utilization::<L>(n, target_utilization);
-        Self::new(SlabHashConfig { num_buckets, seed })
+        Self::new(SlabHashConfig {
+            seed,
+            ..SlabHashConfig::with_buckets(num_buckets)
+        })
     }
 }
 
@@ -141,8 +161,24 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             base: SlabStorage::new(config.num_buckets as usize, EMPTY_KEY),
             alloc,
             hash: UniversalHash::new(config.seed, config.num_buckets),
+            retry_budget: config.retry_budget,
+            maint: crate::maintenance::MaintenanceState::new(),
             _layout: PhantomData,
         }
+    }
+
+    /// The per-operation CAS retry budget this table was built with.
+    #[inline]
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// Pins the current reclamation epoch for the duration of an operation,
+    /// so concurrent compaction never frees a slab this warp may still
+    /// traverse.
+    #[inline]
+    pub(crate) fn epoch_pin(&self) -> simt::EpochPin<'_> {
+        self.maint.clock.pin()
     }
 
     /// Number of buckets, B.

@@ -50,16 +50,18 @@ pub mod error;
 pub mod flush;
 pub mod hash_table;
 pub mod hasher;
+pub mod maintenance;
 pub mod ops;
 pub mod ops_per_thread;
 pub mod slab_list;
 pub mod stats;
 
 pub use driver::WarpDriver;
-pub use entry::{EntryLayout, KeyOnly, KeyValue, DELETED_KEY, EMPTY_KEY, MAX_KEY};
+pub use entry::{EntryLayout, KeyOnly, KeyValue, DELETED_KEY, EMPTY_KEY, FROZEN_KEY, MAX_KEY};
 pub use error::TableError;
 pub use flush::FlushReport;
 pub use hash_table::{buckets_for_utilization, SlabHash, SlabHashConfig};
+pub use maintenance::{MaintenancePolicy, MaintenanceReport, PressureMode};
 pub use hasher::UniversalHash;
 pub use ops::{OpKind, OpResult, Request, RETRY_BUDGET};
 pub use slab_list::SlabList;

@@ -17,20 +17,31 @@ use simt::memory::{pack_pair, unpack_pair};
 use simt::telemetry::EventKind;
 use simt::warp::{ballot, ballot_eq, ffs, WARP_SIZE};
 use simt::WarpCtx;
-use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR};
+use slab_alloc::{SlabAllocator, BASE_SLAB, EMPTY_PTR, FROZEN_PTR};
 
 use crate::entry::{validate_key, EntryLayout, ADDRESS_LANE, DELETED_KEY, EMPTY_KEY};
 use crate::error::TableError;
 use crate::hash_table::SlabHash;
 
 /// How many lost CAS attempts one request tolerates before it fails with
-/// [`TableError::RetryBudgetExhausted`] instead of spinning forever.
+/// [`TableError::RetryBudgetExhausted`] instead of spinning forever. This is
+/// the default for [`SlabHashConfig::retry_budget`](crate::SlabHashConfig);
+/// override it per table with
+/// [`SlabHashConfig::with_retry_budget`](crate::SlabHashConfig::with_retry_budget).
 ///
 /// Legitimate contention loses a CAS at most once per concurrent
 /// competitor, so even the most adversarial tests stay orders of magnitude
 /// below this; only a genuine livelock (or a fault plan injecting failures
 /// at probability 1) can burn through it.
 pub const RETRY_BUDGET: u32 = 4096;
+
+/// End-of-chain test for read-only traversal: an empty next pointer, or a
+/// tail pinned to [`FROZEN_PTR`] by an in-flight incremental flush (the
+/// frozen slab is the last slab of its chain and holds no live keys).
+#[inline]
+fn at_end(next_ptr: u32) -> bool {
+    next_ptr == EMPTY_PTR || next_ptr == FROZEN_PTR
+}
 
 /// The operation a lane requests (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -314,6 +325,11 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             "a warp executes at most 32 requests (got {})",
             reqs.len()
         );
+        let budget = self.retry_budget();
+        // Pin the reclamation epoch for the whole warp operation: any slab
+        // this warp can reach stays mapped until the pin drops, even if a
+        // concurrent try_flush unlinks it mid-traversal.
+        let _pin = self.epoch_pin();
         let mut kinds = [OpKind::None; WARP_SIZE];
         let mut keys = [EMPTY_KEY; WARP_SIZE];
         let mut values = [0u32; WARP_SIZE];
@@ -394,13 +410,17 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
 
             let cas_failures_before = ctx.counters.cas_failures;
             let next_before = next;
+            // Set when a mutating traversal ran into a FROZEN_PTR tail and
+            // restarted from the bucket head; billed to the retry budget so
+            // a wedged flusher can't induce an unbounded restart loop.
+            let mut frozen_restart = false;
             match kinds[src_lane] {
                 OpKind::Search => {
                     let found = ballot_eq(&read_data, src_key) & L::KEY_LANES;
                     if let Some(lane) = ffs(found) {
                         let value = read_data[L::value_lane(lane)];
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Found(value));
-                    } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                    } else if at_end(read_data[ADDRESS_LANE]) {
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::NotFound);
                     } else {
                         next = read_data[ADDRESS_LANE];
@@ -413,7 +433,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         found_all[src_lane].push(read_data[L::value_lane(lane)]);
                         found &= !(1 << lane);
                     }
-                    if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                    if at_end(read_data[ADDRESS_LANE]) {
                         let values = std::mem::take(&mut found_all[src_lane]);
                         let result = if values.is_empty() {
                             OpResult::NotFound
@@ -447,7 +467,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         }
                         // CAS lost: retry — re-read the same slab next round.
                     } else if let Err(e) =
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data, &mut frozen_restart)
                     {
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
@@ -471,7 +491,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                                 finish(reqs, &mut active, ctx, retries[src_lane],result);
                             }
                             // CAS lost: re-read this slab and retry the scan.
-                        } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                        } else if at_end(read_data[ADDRESS_LANE]) {
                             // Key nowhere in the list: switch to inserting
                             // "starting from the tail" — we are at the tail.
                             strict_inserting[src_lane] = true;
@@ -500,6 +520,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             src_bucket,
                             &mut next,
                             &read_data,
+                            &mut frozen_restart,
                         ) {
                             finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                         }
@@ -527,7 +548,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             finish(reqs, &mut active, ctx, retries[src_lane],result);
                         }
                     } else if let Err(e) =
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data, &mut frozen_restart)
                     {
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
@@ -560,7 +581,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         // Shuffle the tail hint from the aux lane and jump.
                         next = read_data[crate::entry::AUX_LANE];
                     } else if let Err(e) =
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data, &mut frozen_restart)
                     {
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
@@ -597,7 +618,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         }
                         // CAS lost: re-read and retry.
                     } else if let Err(e) =
-                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data)
+                        self.follow_or_allocate(ctx, alloc_state, src_bucket, &mut next, &read_data, &mut frozen_restart)
                     {
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::Failed(e));
                     }
@@ -636,7 +657,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                                 ctx.counters.cas_failures += 1;
                             }
                         }
-                    } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                    } else if at_end(read_data[ADDRESS_LANE]) {
                         finish(reqs, &mut active, ctx, retries[src_lane],OpResult::NotFound);
                     } else {
                         next = read_data[ADDRESS_LANE];
@@ -657,7 +678,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                             }
                         }
                         // CAS lost: re-read and retry.
-                    } else if read_data[ADDRESS_LANE] == EMPTY_PTR {
+                    } else if at_end(read_data[ADDRESS_LANE]) {
                         // End of list: "the operation terminates successfully".
                         let result = if kinds[src_lane] == OpKind::Delete {
                             OpResult::NotFound
@@ -680,20 +701,21 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             }
 
             // Bound the retry loop: every lost (or injected) CAS in this
-            // round was on behalf of the source lane's request; a request
-            // that burns the whole budget fails instead of livelocking.
-            if active[src_lane] && ctx.counters.cas_failures > cas_failures_before {
-                retries[src_lane] += (ctx.counters.cas_failures - cas_failures_before) as u32;
-                if retries[src_lane] > RETRY_BUDGET {
+            // round was on behalf of the source lane's request, as was any
+            // restart off a frozen tail; a request that burns the whole
+            // budget fails instead of livelocking.
+            let penalty = (ctx.counters.cas_failures - cas_failures_before) as u32
+                + u32::from(frozen_restart);
+            if active[src_lane] && penalty > 0 {
+                retries[src_lane] += penalty;
+                if retries[src_lane] > budget {
                     ctx.counters.retry_exhaustions += 1;
                     finish(
                         reqs,
                         &mut active,
                         ctx,
                         retries[src_lane],
-                        OpResult::Failed(TableError::RetryBudgetExhausted {
-                            budget: RETRY_BUDGET,
-                        }),
+                        OpResult::Failed(TableError::RetryBudgetExhausted { budget }),
                     );
                 }
             }
@@ -835,8 +857,17 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         bucket: u32,
         next: &mut u32,
         read_data: &[u32; WARP_SIZE],
+        frozen_restart: &mut bool,
     ) -> Result<(), TableError> {
         let next_ptr = read_data[ADDRESS_LANE];
+        if next_ptr == FROZEN_PTR {
+            // An incremental flush pinned this (dead) tail slab mid-unlink.
+            // No slab may be appended to it — restart from the bucket head;
+            // by the time we re-arrive the slab is gone (or thawed).
+            *next = BASE_SLAB;
+            *frozen_restart = true;
+            return Ok(());
+        }
         if next_ptr != EMPTY_PTR {
             *next = next_ptr;
             return Ok(());
@@ -856,9 +887,9 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         if old == EMPTY_PTR {
             // Publish the new tail into the base slab's aux lane — the
             // §III-C base-slab extension consumed by InsertTail. A plain
-            // best-effort store: stale hints still point into the live chain
-            // (slabs are only reclaimed in the exclusive FLUSH phase, which
-            // rewrites the hint).
+            // best-effort store: stale hints still point into the live
+            // chain, because an incremental flush repairs the hint before
+            // retiring the slab it names.
             let base = self.slab_loc(bucket, BASE_SLAB, ctx);
             base.storage.write_lane(
                 base.slab,
@@ -866,6 +897,23 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                 new_slab,
                 &mut ctx.counters,
             );
+            // Verify-and-repair: if an incremental flush retired new_slab
+            // between the link CAS and the publish above (other warps must
+            // have filled *and* tombstoned it in that window), its lane 0
+            // reads FROZEN_KEY — frozen lanes stay frozen until reclamation,
+            // and reclamation waits on this warp's epoch pin. Take the hint
+            // back so no later operation jumps to a retired slab.
+            let nloc = self.slab_loc(bucket, new_slab, ctx);
+            let pair0 = nloc.storage.read_pair(nloc.slab, 0, &mut ctx.counters);
+            if unpack_pair(pair0).0 == crate::entry::FROZEN_KEY {
+                base.storage.cas_lane(
+                    base.slab,
+                    crate::entry::AUX_LANE,
+                    new_slab,
+                    EMPTY_KEY,
+                    &mut ctx.counters,
+                );
+            }
             *next = new_slab;
         } else {
             // "some other warp has successfully allocated and inserted the
@@ -873,7 +921,11 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             // deallocated".
             ctx.counters.cas_failures += 1;
             self.allocator().deallocate(new_slab, ctx);
-            *next = old;
+            // The winner is usually another appender, but it can also be
+            // the flusher freezing this tail (an all-tombstone slab has no
+            // REPLACE candidates yet is still dead): FROZEN_PTR must not be
+            // followed, so restart from the bucket head.
+            *next = if old == FROZEN_PTR { BASE_SLAB } else { old };
         }
         Ok(())
     }

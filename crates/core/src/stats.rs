@@ -9,9 +9,9 @@ use std::collections::HashSet;
 
 use simt::telemetry::{BucketStat, Heatmap, Trace};
 use simt::WarpCtx;
-use slab_alloc::{is_allocated_ptr, SlabAllocator, BASE_SLAB, EMPTY_PTR};
+use slab_alloc::{is_allocated_ptr, SlabAllocator, BASE_SLAB, EMPTY_PTR, FROZEN_PTR};
 
-use crate::entry::{EntryLayout, ADDRESS_LANE, AUX_LANE, DELETED_KEY, EMPTY_KEY};
+use crate::entry::{EntryLayout, ADDRESS_LANE, AUX_LANE, DELETED_KEY, EMPTY_KEY, FROZEN_KEY};
 use crate::hash_table::SlabHash;
 
 /// Summary of a structural audit (see [`SlabHash::audit`]).
@@ -28,15 +28,25 @@ pub struct AuditReport {
     pub allocator_slabs: u64,
     /// Longest bucket chain (in slabs, counting the base slab).
     pub max_chain: usize,
+    /// Data lanes holding [`FROZEN_KEY`], i.e. mid-retirement by an
+    /// in-flight [`try_flush`](SlabHash::try_flush). Zero on a quiescent
+    /// table: both the success and every undo path thaw them.
+    pub frozen_lanes: u64,
+    /// Slabs unlinked by incremental compaction but still awaiting their
+    /// epoch grace period (not reachable from any bucket, not yet freed).
+    pub retired_slabs: u64,
+    /// Double frees the allocator refused (host-side total).
+    pub double_frees: u64,
     /// Per-bucket occupancy observed during the walk, in bucket order.
     /// Feeds [`SlabHash::contention_heatmap`].
     pub bucket_stats: Vec<BucketStat>,
 }
 
 impl AuditReport {
-    /// True when every allocated slab is reachable from some bucket.
+    /// True when every allocated slab is accounted for: reachable from some
+    /// bucket, or retired and awaiting reclamation.
     pub fn no_leaks(&self) -> bool {
-        self.chained_slabs == self.allocator_slabs
+        self.chained_slabs + self.retired_slabs == self.allocator_slabs
     }
 }
 
@@ -45,6 +55,9 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
     /// (`BASE_SLAB` first) and contents. Host-side; transaction counts go to
     /// a scratch context.
     pub(crate) fn walk_bucket(&self, bucket: u32, mut f: impl FnMut(u32, &[u32; 32])) {
+        // Pin the reclamation epoch so concurrent maintenance can't free a
+        // slab out from under this walk.
+        let _pin = self.epoch_pin();
         let mut ctx = WarpCtx::for_test(usize::MAX);
         let mut ptr = BASE_SLAB;
         // Cycle guard: a well-formed chain cannot exceed every slab in
@@ -54,7 +67,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             let data = self.read_slab(bucket, ptr, &mut ctx);
             f(ptr, &data);
             let next = data[ADDRESS_LANE];
-            if next == EMPTY_PTR {
+            if next == EMPTY_PTR || next == FROZEN_PTR {
                 return;
             }
             ptr = next;
@@ -142,6 +155,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         let mut seen = HashSet::new();
         let mut live = 0u64;
         let mut tombstones = 0u64;
+        let mut frozen = 0u64;
         let mut chained = 0u64;
         let mut max_chain = 0usize;
         let mut bucket_stats = Vec::with_capacity(self.num_buckets() as usize);
@@ -177,6 +191,7 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                     match data[L::key_lane(e)] {
                         EMPTY_KEY => {}
                         DELETED_KEY => bucket_tombstones += 1,
+                        FROZEN_KEY => frozen += 1,
                         _ => bucket_live += 1,
                     }
                 }
@@ -207,6 +222,9 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             chained_slabs: chained,
             allocator_slabs: self.allocator().allocated_slabs(),
             max_chain,
+            frozen_lanes: frozen,
+            retired_slabs: self.retired_slab_count(),
+            double_frees: self.allocator().double_frees(),
             bucket_stats,
         })
     }
@@ -227,12 +245,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
     }
 }
 
-/// Counts live keys in one slab's lanes.
+/// Counts live keys in one slab's lanes (frozen lanes are dead by
+/// construction: only empty/tombstoned slots ever freeze).
 pub(crate) fn live_keys_in_slab<L: EntryLayout>(data: &[u32; 32]) -> usize {
     (0..L::ELEMS_PER_SLAB as usize)
         .filter(|&e| {
             let k = data[L::key_lane(e)];
-            k != EMPTY_KEY && k != DELETED_KEY
+            k != EMPTY_KEY && k != DELETED_KEY && k != FROZEN_KEY
         })
         .count()
 }
@@ -242,7 +261,7 @@ pub(crate) fn collect_live<L: EntryLayout>(data: &[u32; 32], out: &mut Vec<(u32,
     for e in 0..L::ELEMS_PER_SLAB as usize {
         let lane = L::key_lane(e);
         let k = data[lane];
-        if k != EMPTY_KEY && k != DELETED_KEY {
+        if k != EMPTY_KEY && k != DELETED_KEY && k != FROZEN_KEY {
             out.push((k, data[L::value_lane(lane)]));
         }
     }

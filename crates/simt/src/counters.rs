@@ -53,6 +53,10 @@ pub struct PerfCounters {
     /// failed with `RetryBudgetExhausted` instead of spinning forever
     /// (livelock detector; normally 0).
     pub retry_exhaustions: u64,
+    /// Deallocations of a slab that was not currently allocated, detected
+    /// and refused by the allocator in all build profiles (normally 0; a
+    /// nonzero count means a reclamation bug upstream).
+    pub double_frees: u64,
 }
 
 impl PerfCounters {
@@ -79,6 +83,7 @@ impl PerfCounters {
             shared_lookups,
             lock_acquisitions,
             retry_exhaustions,
+            double_frees,
         } = *other;
         self.slab_reads += slab_reads;
         self.sector_reads += sector_reads;
@@ -95,6 +100,7 @@ impl PerfCounters {
         self.shared_lookups += shared_lookups;
         self.lock_acquisitions += lock_acquisitions;
         self.retry_exhaustions += retry_exhaustions;
+        self.double_frees += double_frees;
     }
 
     /// Total bytes moved through the memory system under the transaction
@@ -174,6 +180,7 @@ mod tests {
             shared_lookups: 12,
             lock_acquisitions: 13,
             retry_exhaustions: 15,
+            double_frees: 16,
         };
         let doubled = a + a;
         // Exhaustive by construction: both the input literal above and this
@@ -196,6 +203,7 @@ mod tests {
             shared_lookups: 24,
             lock_acquisitions: 26,
             retry_exhaustions: 30,
+            double_frees: 32,
         };
         assert_eq!(doubled, expected);
     }

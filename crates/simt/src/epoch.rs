@@ -1,0 +1,177 @@
+//! Epoch-based grace periods for deferred reclamation.
+//!
+//! Concurrent compaction unlinks slabs from live chains while other warps
+//! may still be traversing them. The unlinked slab cannot be scrubbed and
+//! returned to the allocator immediately: a racing reader that loaded the
+//! predecessor's next-pointer *before* the unlink may still dereference it.
+//! The classic answer is epoch-based reclamation, and the GPU analogue is
+//! per-launch quiescence: a kernel launch pins the epoch it started in, and
+//! memory retired at epoch `t` is reclaimable only once every pinned launch
+//! started at an epoch ≥ `t` (it then provably started *after* the unlink
+//! and can never have read the stale pointer).
+//!
+//! [`EpochClock`] is that clock: launches take an [`EpochPin`] (RAII) for
+//! their duration, retirers tag retired memory with [`EpochClock::advance`]
+//! *after* the unlink is published, and the reclaimer frees a tag `t`
+//! entry once [`EpochClock::horizon`]` >= t`.
+//!
+//! Ordering: `advance` is a `SeqCst` fetch-add and `pin` a `SeqCst` load,
+//! so a pin that observes epoch ≥ t happens-after the advance that produced
+//! t, which itself happens-after the unlink CAS the retirer performed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A monotonic epoch clock with registered pins (active launches).
+#[derive(Debug, Default)]
+pub struct EpochClock {
+    /// The global epoch, advanced once per retirement batch.
+    clock: AtomicU64,
+    /// Pin id allocator.
+    next_pin: AtomicU64,
+    /// Active pins: pin id → the epoch observed when the pin was taken.
+    pins: Mutex<HashMap<u64, u64>>,
+}
+
+impl EpochClock {
+    /// A fresh clock at epoch 0 with no pins.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch.
+    pub fn current(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock and returns the new epoch — the retirement tag
+    /// for memory whose unlink was published *before* this call.
+    pub fn advance(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Pins the current epoch for the duration of the returned guard
+    /// (one pin per launch / traversal).
+    pub fn pin(&self) -> EpochPin<'_> {
+        let id = self.next_pin.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.clock.load(Ordering::SeqCst);
+        self.pins.lock().insert(id, epoch);
+        EpochPin { clock: self, id }
+    }
+
+    /// The reclamation horizon: the minimum epoch any active pin holds, or
+    /// `u64::MAX` when nothing is pinned. Memory retired with tag `t` is
+    /// safe to free iff `horizon() >= t`.
+    pub fn horizon(&self) -> u64 {
+        self.pins
+            .lock()
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Number of active pins (in-flight launches).
+    pub fn active_pins(&self) -> usize {
+        self.pins.lock().len()
+    }
+}
+
+/// RAII pin on an [`EpochClock`]; dropped when the launch completes.
+#[derive(Debug)]
+pub struct EpochPin<'c> {
+    clock: &'c EpochClock,
+    id: u64,
+}
+
+impl EpochPin<'_> {
+    /// The epoch this pin holds.
+    pub fn epoch(&self) -> u64 {
+        self.clock.pins.lock()[&self.id]
+    }
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        self.clock.pins.lock().remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clock_has_open_horizon() {
+        let c = EpochClock::new();
+        assert_eq!(c.current(), 0);
+        assert_eq!(c.horizon(), u64::MAX, "no pins: everything reclaimable");
+        assert_eq!(c.active_pins(), 0);
+    }
+
+    #[test]
+    fn advance_is_monotonic_and_returns_new_epoch() {
+        let c = EpochClock::new();
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.current(), 2);
+    }
+
+    #[test]
+    fn pin_blocks_reclamation_of_later_retirements() {
+        let c = EpochClock::new();
+        let pin = c.pin(); // pinned at epoch 0
+        assert_eq!(pin.epoch(), 0);
+        let tag = c.advance(); // retire something at tag 1
+        // The pinned launch started before the unlink: not reclaimable.
+        assert!(c.horizon() < tag);
+        drop(pin);
+        assert!(c.horizon() >= tag, "pin released: reclaimable");
+    }
+
+    #[test]
+    fn pin_taken_after_retirement_does_not_block_it() {
+        let c = EpochClock::new();
+        let tag = c.advance(); // tag 1, published before the pin below
+        let _pin = c.pin(); // pinned at epoch 1: happens-after the unlink
+        assert!(c.horizon() >= tag, "late pin cannot reach retired memory");
+    }
+
+    #[test]
+    fn horizon_is_minimum_over_pins() {
+        let c = EpochClock::new();
+        let early = c.pin(); // epoch 0
+        c.advance();
+        let late = c.pin(); // epoch 1
+        assert_eq!(c.horizon(), 0);
+        assert_eq!(c.active_pins(), 2);
+        drop(early);
+        assert_eq!(c.horizon(), 1);
+        drop(late);
+        assert_eq!(c.horizon(), u64::MAX);
+    }
+
+    #[test]
+    fn pins_work_across_threads() {
+        let c = EpochClock::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let pin = c.pin();
+                        let tag = c.advance();
+                        assert!(pin.epoch() < tag);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(c.active_pins(), 0);
+        assert_eq!(c.current(), 8);
+        assert_eq!(c.horizon(), u64::MAX);
+    }
+}

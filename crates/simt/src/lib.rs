@@ -14,6 +14,8 @@
 //! * [`grid`] — a warp scheduler that runs simulated warps concurrently
 //!   across CPU cores (real races, real lock-freedom);
 //! * [`counters`] — exact transaction accounting per warp;
+//! * [`epoch`] — epoch-based grace periods (per-launch pins) for deferred
+//!   reclamation of concurrently unlinked memory;
 //! * [`model`] — a calibrated roofline model of the paper's Tesla K40c that
 //!   converts counted transactions into estimated device time;
 //! * [`telemetry`] (re-exported crate) — launch traces, work-distribution
@@ -39,6 +41,7 @@
 
 pub mod chaos;
 pub mod counters;
+pub mod epoch;
 pub mod grid;
 pub mod memory;
 pub mod model;
@@ -48,6 +51,7 @@ pub use telemetry;
 
 pub use chaos::{disable_chaos, set_chaos, ChaosGuard, FaultPlan};
 pub use counters::PerfCounters;
+pub use epoch::{EpochClock, EpochPin};
 pub use grid::{Grid, LaunchError, LaunchReport, WarpCtx};
 pub use memory::{pack_pair, unpack_pair, SlabStorage, SLAB_BYTES, WORDS_PER_SLAB};
 pub use model::{GpuEstimate, GpuModel, ResourceBreakdown};

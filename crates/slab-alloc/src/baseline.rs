@@ -16,7 +16,7 @@
 //! per-thread divergence + probing (Halloc) under the slab hash's
 //! allocation pattern, and both substitutes preserve exactly those.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use simt::memory::SlabStorage;
@@ -35,6 +35,7 @@ const MAX_BASELINE_SLABS: usize = 0xFF00_0000;
 pub struct SerialHeapSim {
     storage: SlabStorage,
     heap: Mutex<SerialHeap>,
+    double_free_count: AtomicU64,
 }
 
 struct SerialHeap {
@@ -54,6 +55,7 @@ impl SerialHeapSim {
                 free_list: Vec::new(),
                 capacity: capacity as u32,
             }),
+            double_free_count: AtomicU64::new(0),
         }
     }
 }
@@ -91,8 +93,15 @@ impl SlabAllocator for SerialHeapSim {
     fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx) {
         ctx.counters.lock_acquisitions += 1;
         ctx.counters.sector_writes += 1;
+        let mut heap = self.heap.lock();
+        if ptr >= heap.next_fresh || heap.free_list.contains(&ptr) {
+            // Double free (or never-allocated pointer): refused and recorded.
+            ctx.counters.double_frees += 1;
+            self.double_free_count.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
         ctx.counters.deallocations += 1;
-        self.heap.lock().free_list.push(ptr);
+        heap.free_list.push(ptr);
     }
 
     fn resolve(&self, ptr: u32, _ctx: &mut WarpCtx) -> SlabRef<'_> {
@@ -111,6 +120,10 @@ impl SlabAllocator for SerialHeapSim {
         self.heap.lock().capacity as u64
     }
 
+    fn double_frees(&self) -> u64 {
+        self.double_free_count.load(Ordering::Acquire)
+    }
+
     fn metadata_bytes(&self) -> u64 {
         64 // a heap header; irrelevant, the lock dominates
     }
@@ -126,6 +139,7 @@ pub struct HallocSim {
     pools: Box<[HallocPool]>,
     storage: SlabStorage,
     slabs_per_pool: u32,
+    double_free_count: AtomicU64,
 }
 
 struct HallocPool {
@@ -150,6 +164,7 @@ impl HallocSim {
             pools,
             storage: SlabStorage::new(num_pools * slabs_per_pool, fill),
             slabs_per_pool: slabs_per_pool as u32,
+            double_free_count: AtomicU64::new(0),
         }
     }
 }
@@ -236,9 +251,15 @@ impl SlabAllocator for HallocSim {
         let unit = ptr % self.slabs_per_pool;
         ctx.counters.atomics += 1;
         ctx.counters.divergent_steps += 1;
-        ctx.counters.deallocations += 1;
         let prev = pool.words[(unit / 32) as usize].fetch_and(!(1 << (unit % 32)), Ordering::AcqRel);
-        debug_assert!(prev & (1 << (unit % 32)) != 0, "double free in HallocSim");
+        if prev & (1 << (unit % 32)) != 0 {
+            ctx.counters.deallocations += 1;
+        } else {
+            // The bit was already clear: a double free, detected in every
+            // build profile and kept out of the deallocation count.
+            ctx.counters.double_frees += 1;
+            self.double_free_count.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     fn resolve(&self, ptr: u32, _ctx: &mut WarpCtx) -> SlabRef<'_> {
@@ -258,6 +279,10 @@ impl SlabAllocator for HallocSim {
 
     fn capacity_slabs(&self) -> u64 {
         self.pools.len() as u64 * self.slabs_per_pool as u64
+    }
+
+    fn double_frees(&self) -> u64 {
+        self.double_free_count.load(Ordering::Acquire)
     }
 
     fn metadata_bytes(&self) -> u64 {
@@ -387,6 +412,29 @@ mod tests {
         let unique: HashSet<_> = all.iter().collect();
         assert_eq!(unique.len(), all.len());
         assert_eq!(halloc.allocated_slabs(), all.len() as u64);
+    }
+
+    #[test]
+    fn baselines_refuse_and_count_double_frees() {
+        let heap = SerialHeapSim::new(16, 0);
+        let mut ctx = WarpCtx::for_test(0);
+        let a = heap.allocate(&mut (), &mut ctx);
+        heap.deallocate(a, &mut ctx);
+        heap.deallocate(a, &mut ctx); // double free
+        heap.deallocate(7, &mut ctx); // never allocated
+        assert_eq!(heap.double_frees(), 2);
+        assert_eq!(heap.allocated_slabs(), 0);
+
+        let halloc = HallocSim::new(1, 64, 0);
+        let mut st = halloc.new_warp_state();
+        let p = halloc.allocate(&mut st, &mut ctx);
+        halloc.deallocate(p, &mut ctx);
+        halloc.deallocate(p, &mut ctx); // double free
+        assert_eq!(halloc.double_frees(), 1);
+        assert_eq!(halloc.allocated_slabs(), 0);
+        assert_eq!(ctx.counters.double_frees, 3);
+        // Deallocation counters only reflect the real frees.
+        assert_eq!(ctx.counters.deallocations, 2);
     }
 
     #[test]

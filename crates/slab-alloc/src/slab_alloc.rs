@@ -10,9 +10,10 @@
 //! allocator activates additional super blocks — the probing/growth scheme
 //! that lets the design scale to ~1 TB without CPU intervention.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+use simt::telemetry::{Gauge, GaugeSnapshot, Watermark};
 use simt::warp::{ballot, ffs, WARP_SIZE};
 use simt::WarpCtx;
 
@@ -41,6 +42,12 @@ pub struct SlabAllocConfig {
     /// skips the per-super-block shared-memory lookup. Capacity is then
     /// limited to 4 GB of slabs.
     pub light: bool,
+    /// Free-unit headroom floor (0 disables). When the free units across
+    /// *active* super blocks drop to this level the allocator proactively
+    /// activates another super block and the `free_headroom` pressure gauge
+    /// records a watermark breach — pressure becomes visible (and acted on)
+    /// before it turns into an [`AllocError`].
+    pub low_free_watermark: u64,
 }
 
 impl Default for SlabAllocConfig {
@@ -56,6 +63,7 @@ impl Default for SlabAllocConfig {
             fill: u32::MAX,
             resident_threshold: 2,
             light: true,
+            low_free_watermark: 0,
         }
     }
 }
@@ -130,6 +138,14 @@ pub struct SlabAlloc {
     /// Number of super blocks currently in the resident-selection hash
     /// domain; grows toward `config.super_blocks` under pressure.
     active_supers: AtomicU32,
+    /// Pressure gauge: slabs currently handed out (peak = high watermark).
+    /// Host-side statistic, never billed to `PerfCounters`.
+    outstanding: Gauge,
+    /// Pressure gauge: free units across *active* super blocks; armed with
+    /// `config.low_free_watermark` when nonzero.
+    free_headroom: Gauge,
+    /// Double frees detected (and refused) since creation.
+    double_free_count: AtomicU64,
 }
 
 /// 32-bit finalizer from splitmix64, used as the resident-selection hash.
@@ -152,10 +168,23 @@ impl SlabAlloc {
             .map(|_| OnceLock::new())
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let free_headroom = if config.low_free_watermark > 0 {
+            Gauge::with_direction("slab_alloc.free_headroom", Watermark::Low)
+                .with_threshold(config.low_free_watermark)
+        } else {
+            Gauge::with_direction("slab_alloc.free_headroom", Watermark::Low)
+        };
+        free_headroom.set(
+            config.initial_active as u64 * config.blocks_per_super as u64
+                * UNITS_PER_BLOCK as u64,
+        );
         Self {
             config,
             supers,
             active_supers: AtomicU32::new(config.initial_active),
+            outstanding: Gauge::new("slab_alloc.outstanding"),
+            free_headroom,
+            double_free_count: AtomicU64::new(0),
         }
     }
 
@@ -196,18 +225,60 @@ impl SlabAlloc {
 
     /// Activates one more super block if the configuration allows. Called
     /// when a warp has churned through `resident_threshold` resident blocks
-    /// without finding space.
-    fn grow(&self) {
-        let _ = self
-            .active_supers
+    /// without finding space, and proactively by the low-free watermark.
+    /// Returns whether another super block actually came online.
+    fn grow(&self) -> bool {
+        self.active_supers
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |active| {
                 (active < self.config.super_blocks).then_some(active + 1)
-            });
+            })
+            .is_ok()
+    }
+
+    /// Free units across the active super blocks (the growth headroom the
+    /// resident-selection hash can actually reach).
+    fn active_free_units(&self) -> u64 {
+        let active_capacity = self.active_supers.load(Ordering::Acquire) as u64
+            * self.config.blocks_per_super as u64
+            * UNITS_PER_BLOCK as u64;
+        active_capacity.saturating_sub(self.outstanding.value())
+    }
+
+    /// Re-derives the free-headroom gauge after an outstanding-count change
+    /// and, when the low-free watermark is armed and hit, proactively grows
+    /// so the next allocations find fresh capacity instead of an error.
+    fn refresh_pressure(&self) {
+        let free = self.active_free_units();
+        self.free_headroom.set(free);
+        if self.config.low_free_watermark > 0
+            && free <= self.config.low_free_watermark
+            && self.grow()
+        {
+            self.free_headroom.set(self.active_free_units());
+        }
     }
 
     /// Host-side: the number of currently active (hashable) super blocks.
     pub fn active_super_blocks(&self) -> u32 {
         self.active_supers.load(Ordering::Acquire)
+    }
+
+    /// Peak slabs simultaneously outstanding since creation (the high
+    /// watermark the soak tests bound).
+    pub fn peak_outstanding_slabs(&self) -> u64 {
+        self.outstanding.extreme()
+    }
+
+    /// Times the free-unit headroom crossed below the configured
+    /// low-free watermark (0 when the watermark is disabled).
+    pub fn low_free_breaches(&self) -> u64 {
+        self.free_headroom.breaches()
+    }
+
+    /// Point-in-time snapshots of the allocator's pressure gauges
+    /// (`outstanding` slabs and `free_headroom` units).
+    pub fn pressure_gauges(&self) -> Vec<GaugeSnapshot> {
+        vec![self.outstanding.snapshot(), self.free_headroom.snapshot()]
     }
 
     /// Host-side: audits that `ptr` is a live allocation (used by tests and
@@ -278,6 +349,8 @@ impl SlabAllocator for SlabAlloc {
                 Ok(()) => {
                     state.cached[lane] = word | (1 << bit);
                     ctx.counters.allocations += 1;
+                    self.outstanding.add(1);
+                    self.refresh_pressure();
                     // Resident-block hops this allocation burned before
                     // finding space — the allocator's contention signal.
                     let hops = (ctx.counters.resident_changes - resident_before) as u32;
@@ -303,8 +376,15 @@ impl SlabAllocator for SlabAlloc {
     fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx) {
         let addr = SlabAddr::decode(ptr).expect("deallocating a sentinel pointer");
         let sb = self.super_block(addr.super_block);
-        sb.release(addr.block, addr.unit, &mut ctx.counters);
-        ctx.counters.deallocations += 1;
+        if sb.release(addr.block, addr.unit, &mut ctx.counters) {
+            ctx.counters.deallocations += 1;
+            self.outstanding.sub(1);
+            self.refresh_pressure();
+        } else {
+            // Double free: refused, recorded, accounting untouched.
+            ctx.counters.double_frees += 1;
+            self.double_free_count.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     fn resolve(&self, ptr: u32, ctx: &mut WarpCtx) -> SlabRef<'_> {
@@ -333,6 +413,18 @@ impl SlabAllocator for SlabAlloc {
     fn capacity_slabs(&self) -> u64 {
         self.config.super_blocks as u64 * self.config.blocks_per_super as u64
             * UNITS_PER_BLOCK as u64
+    }
+
+    fn try_grow(&self) -> bool {
+        let grew = self.grow();
+        if grew {
+            self.free_headroom.set(self.active_free_units());
+        }
+        grew
+    }
+
+    fn double_frees(&self) -> u64 {
+        self.double_free_count.load(Ordering::Acquire)
     }
 
     fn metadata_bytes(&self) -> u64 {
@@ -524,6 +616,90 @@ mod tests {
         let unique: HashSet<_> = ptrs.iter().collect();
         assert_eq!(unique.len(), 6400, "two warps got the same slab");
         assert_eq!(alloc.allocated_slabs(), 6400);
+    }
+
+    #[test]
+    fn double_free_is_refused_and_counted_in_release_builds() {
+        let alloc = tiny();
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        let a = alloc.allocate(&mut st, &mut ctx);
+        let b = alloc.allocate(&mut st, &mut ctx);
+        alloc.deallocate(a, &mut ctx);
+        alloc.deallocate(a, &mut ctx); // double free
+        alloc.deallocate(a, &mut ctx); // and again
+        assert_eq!(alloc.double_frees(), 2);
+        assert_eq!(ctx.counters.double_frees, 2);
+        // Accounting is untouched by the refused frees: b is still live.
+        assert_eq!(ctx.counters.deallocations, 1);
+        assert_eq!(alloc.allocated_slabs(), 1);
+        assert!(alloc.is_live(b));
+        assert!(!alloc.is_live(a));
+        // The freed unit is still allocatable exactly once.
+        let again = alloc.try_allocate(&mut st, &mut ctx).unwrap();
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn low_free_watermark_breaches_and_grows_proactively() {
+        let alloc = SlabAlloc::new(SlabAllocConfig {
+            initial_active: 1,
+            low_free_watermark: 64,
+            ..SlabAllocConfig::small(4, 1)
+        });
+        assert_eq!(alloc.active_super_blocks(), 1);
+        assert_eq!(alloc.low_free_breaches(), 0);
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        // Drain the first super block down to the watermark: the headroom
+        // gauge must record the breach and growth must bring another super
+        // block online before allocation ever fails.
+        for _ in 0..1000 {
+            alloc.allocate(&mut st, &mut ctx);
+        }
+        assert!(alloc.low_free_breaches() >= 1, "watermark breach not seen");
+        assert!(
+            alloc.active_super_blocks() >= 2,
+            "proactive growth did not activate a super block"
+        );
+        // Headroom recovered past the watermark after growth.
+        let snap = &alloc.pressure_gauges()[1];
+        assert_eq!(snap.name, "slab_alloc.free_headroom");
+        assert!(snap.value > 64, "headroom {} still at watermark", snap.value);
+    }
+
+    #[test]
+    fn pressure_gauges_track_outstanding_peak() {
+        let alloc = tiny();
+        let mut ctx = WarpCtx::for_test(0);
+        let mut st = alloc.new_warp_state();
+        let ptrs: Vec<u32> = (0..300)
+            .map(|_| alloc.allocate(&mut st, &mut ctx))
+            .collect();
+        for p in &ptrs[..200] {
+            alloc.deallocate(*p, &mut ctx);
+        }
+        // Peak stays at the high watermark even after frees.
+        assert_eq!(alloc.peak_outstanding_slabs(), 300);
+        let outstanding = &alloc.pressure_gauges()[0];
+        assert_eq!(outstanding.name, "slab_alloc.outstanding");
+        assert_eq!(outstanding.value, 100);
+        assert_eq!(outstanding.extreme, 300);
+    }
+
+    #[test]
+    fn try_grow_activates_capacity_on_demand() {
+        let alloc = SlabAlloc::new(SlabAllocConfig {
+            initial_active: 1,
+            ..SlabAllocConfig::small(2, 1)
+        });
+        let headroom_before = alloc.pressure_gauges()[1].value;
+        assert!(alloc.try_grow());
+        assert_eq!(alloc.active_super_blocks(), 2);
+        assert!(alloc.pressure_gauges()[1].value > headroom_before);
+        // Fully grown: further requests report no growth.
+        assert!(!alloc.try_grow());
+        assert_eq!(alloc.active_super_blocks(), 2);
     }
 
     #[test]

@@ -105,14 +105,13 @@ impl SuperBlock {
     /// Atomically frees `unit` of `block` ("deallocation is done by first
     /// locating the slab's memory block's bitmap in global memory and then
     /// atomically unsetting the corresponding bit"). Returns whether the bit
-    /// was actually set — a double free trips a debug assertion and reports
-    /// `false` in release builds.
+    /// was actually set — `false` means a double free, which the caller
+    /// must record rather than ignore (detected in every build profile).
     pub fn release(&self, block: u32, unit: u32, counters: &mut PerfCounters) -> bool {
         counters.atomics += 1;
         let lane = (unit / 32) as usize;
         let bit = 1u32 << (unit % 32);
         let prev = self.word(block, lane).fetch_and(!bit, Ordering::AcqRel);
-        debug_assert!(prev & bit != 0, "double free of unit {unit} in block {block}");
         prev & bit != 0
     }
 
@@ -170,6 +169,16 @@ mod tests {
         assert_eq!(sb.allocated_units(), 1);
         assert!(sb.release(1, 3 * 32 + 7, &mut c));
         assert_eq!(sb.allocated_units(), 0);
+    }
+
+    #[test]
+    fn double_release_reports_false_in_every_profile() {
+        let mut c = PerfCounters::default();
+        let sb = SuperBlock::new(1, 0);
+        sb.try_claim(0, 0, 0, 4, &mut c).unwrap();
+        assert!(sb.release(0, 4, &mut c));
+        assert!(!sb.release(0, 4, &mut c), "second free must report false");
+        assert_eq!(sb.allocated_units(), 0, "double free must not corrupt");
     }
 
     #[test]

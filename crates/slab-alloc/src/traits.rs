@@ -99,6 +99,12 @@ pub trait SlabAllocator: Sync {
     }
 
     /// Returns a previously allocated slab to the allocator.
+    ///
+    /// Deallocating a slab that is not currently allocated (a double free)
+    /// must not corrupt the allocator: implementations detect it in every
+    /// build profile, bill it to `ctx.counters.double_frees`, record it in
+    /// [`SlabAllocator::double_frees`], and leave their accounting
+    /// untouched.
     fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx);
 
     /// Decodes a 32-bit slab pointer into a concrete storage location,
@@ -111,6 +117,26 @@ pub trait SlabAllocator: Sync {
 
     /// Maximum slabs this allocator can serve.
     fn capacity_slabs(&self) -> u64;
+
+    /// Slabs still available before the configured capacity is exhausted
+    /// (host-side statistic; the maintenance policy's headroom signal).
+    fn free_slabs(&self) -> u64 {
+        self.capacity_slabs().saturating_sub(self.allocated_slabs())
+    }
+
+    /// Asks the allocator to bring more capacity online (e.g. activate an
+    /// additional super block). Returns `true` when capacity actually grew;
+    /// the default implementation is a fixed-capacity allocator that cannot.
+    fn try_grow(&self) -> bool {
+        false
+    }
+
+    /// Double frees detected (and refused) since creation. Mirrors the
+    /// per-warp `double_frees` perf counter as a host-side total so
+    /// `audit()` can report it without a launch report in hand.
+    fn double_frees(&self) -> u64 {
+        0
+    }
 
     /// Bytes of allocator metadata the hot path touches (bitmaps); feeds the
     /// roofline model's working-set estimate for allocation-heavy kernels.

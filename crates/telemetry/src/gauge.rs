@@ -1,0 +1,298 @@
+//! Pressure gauges: host-side instantaneous values with watermark
+//! thresholds.
+//!
+//! Traces and histograms answer *what happened*; gauges answer *how close
+//! to the edge are we right now*. An allocator exports its outstanding-slab
+//! count and free-unit headroom as gauges; a maintenance policy (or a CI
+//! soak job) reads them to see pressure building *before* it turns into an
+//! `AllocError`.
+//!
+//! A [`Gauge`] tracks the current value, the extreme value ever observed
+//! (peak for high watermarks, trough for low ones), and — when armed with a
+//! threshold — counts *breaches*: transitions from the safe side of the
+//! threshold to the unsafe side. Counting transitions rather than samples
+//! makes `breaches()` a stable assertion target for tests ("the low-free
+//! watermark fired at least once") independent of how often the hot path
+//! updates the gauge.
+//!
+//! Updates are lock-free atomics, safe to call from concurrently executing
+//! simulated warps; like all host-side statistics they are never billed to
+//! `PerfCounters`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which direction of travel counts as pressure for a gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Watermark {
+    /// Pressure is the value rising to (or above) the threshold — e.g.
+    /// outstanding allocations against a usage bound.
+    High,
+    /// Pressure is the value falling to (or below) the threshold — e.g.
+    /// free units against a headroom floor.
+    Low,
+}
+
+/// A named instantaneous value with optional watermark threshold.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    /// Most extreme value observed: maximum for `Watermark::High`,
+    /// minimum for `Watermark::Low`.
+    extreme: AtomicU64,
+    watermark: Watermark,
+    /// Armed threshold; `u64::MAX` (High) / untripped sentinel handled via
+    /// `armed`.
+    threshold: u64,
+    armed: bool,
+    breaches: AtomicU64,
+}
+
+impl Gauge {
+    /// An unarmed high-watermark gauge starting at 0.
+    pub fn new(name: &'static str) -> Self {
+        Self::with_direction(name, Watermark::High)
+    }
+
+    /// An unarmed gauge with an explicit pressure direction, starting at 0.
+    pub fn with_direction(name: &'static str, watermark: Watermark) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            extreme: AtomicU64::new(match watermark {
+                Watermark::High => 0,
+                Watermark::Low => u64::MAX,
+            }),
+            watermark,
+            threshold: 0,
+            armed: false,
+            breaches: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms the watermark: crossing `threshold` in the pressure direction
+    /// counts one breach per crossing.
+    pub fn with_threshold(mut self, threshold: u64) -> Self {
+        self.threshold = threshold;
+        self.armed = true;
+        self
+    }
+
+    /// The gauge's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// The most extreme value observed (peak for high watermarks, trough
+    /// for low ones). For a low-watermark gauge that was never set, this is
+    /// `u64::MAX`.
+    pub fn extreme(&self) -> u64 {
+        self.extreme.load(Ordering::Acquire)
+    }
+
+    /// The armed threshold, if any.
+    pub fn threshold(&self) -> Option<u64> {
+        self.armed.then_some(self.threshold)
+    }
+
+    /// How many times the value crossed the threshold in the pressure
+    /// direction (safe → unsafe transitions).
+    pub fn breaches(&self) -> u64 {
+        self.breaches.load(Ordering::Acquire)
+    }
+
+    /// True while the current value sits on the unsafe side of the
+    /// threshold.
+    pub fn breached(&self) -> bool {
+        self.armed && self.pressured(self.value())
+    }
+
+    /// Sets the value, updating the extreme and counting a breach when the
+    /// update crosses the threshold in the pressure direction.
+    pub fn set(&self, new: u64) {
+        let old = self.value.swap(new, Ordering::AcqRel);
+        self.note_extreme(new);
+        if self.armed && !self.pressured(old) && self.pressured(new) {
+            self.breaches.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Adds `delta` to the value (saturating).
+    pub fn add(&self, delta: u64) {
+        self.update(|v| v.saturating_add(delta));
+    }
+
+    /// Subtracts `delta` from the value (saturating).
+    pub fn sub(&self, delta: u64) {
+        self.update(|v| v.saturating_sub(delta));
+    }
+
+    fn update(&self, f: impl Fn(u64) -> u64) {
+        let old = self
+            .value
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(f(v)))
+            .expect("gauge update closure always returns Some");
+        let new = f(old);
+        self.note_extreme(new);
+        if self.armed && !self.pressured(old) && self.pressured(new) {
+            self.breaches.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn pressured(&self, v: u64) -> bool {
+        match self.watermark {
+            Watermark::High => v >= self.threshold,
+            Watermark::Low => v <= self.threshold,
+        }
+    }
+
+    fn note_extreme(&self, v: u64) {
+        match self.watermark {
+            Watermark::High => {
+                self.extreme.fetch_max(v, Ordering::AcqRel);
+            }
+            Watermark::Low => {
+                self.extreme.fetch_min(v, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// A point-in-time copy for reporting.
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        GaugeSnapshot {
+            name: self.name,
+            value: self.value(),
+            extreme: self.extreme(),
+            threshold: self.threshold(),
+            breaches: self.breaches(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Gauge`], detached from its atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Value at snapshot time.
+    pub value: u64,
+    /// Most extreme value observed (peak or trough per direction).
+    pub extreme: u64,
+    /// Armed threshold, if any.
+    pub threshold: Option<u64>,
+    /// Threshold crossings in the pressure direction.
+    pub breaches: u64,
+}
+
+impl std::fmt::Display for GaugeSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} = {} (extreme {}",
+            self.name, self.value, self.extreme
+        )?;
+        if let Some(t) = self.threshold {
+            write!(f, ", threshold {t}, breaches {}", self.breaches)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_watermark_tracks_peak_and_breaches() {
+        let g = Gauge::new("outstanding").with_threshold(10);
+        g.set(5);
+        assert!(!g.breached());
+        assert_eq!(g.breaches(), 0);
+        g.set(12); // crosses up: one breach
+        assert!(g.breached());
+        assert_eq!(g.breaches(), 1);
+        g.set(15); // stays above: still the same breach episode
+        assert_eq!(g.breaches(), 1);
+        g.set(3); // recovers
+        assert!(!g.breached());
+        g.set(10); // crosses again (>= threshold)
+        assert_eq!(g.breaches(), 2);
+        assert_eq!(g.extreme(), 15, "peak survives recovery");
+        assert_eq!(g.value(), 10);
+    }
+
+    #[test]
+    fn low_watermark_tracks_trough() {
+        let g = Gauge::with_direction("free_units", Watermark::Low).with_threshold(4);
+        g.set(100);
+        assert_eq!(g.breaches(), 0);
+        g.set(4); // at the floor: breach
+        assert_eq!(g.breaches(), 1);
+        g.set(2);
+        assert_eq!(g.breaches(), 1, "still inside the same episode");
+        g.set(50);
+        g.set(0);
+        assert_eq!(g.breaches(), 2);
+        assert_eq!(g.extreme(), 0, "trough recorded");
+    }
+
+    #[test]
+    fn add_sub_saturate_and_count_crossings() {
+        let g = Gauge::new("slabs").with_threshold(3);
+        g.add(2);
+        g.add(2); // 4: crossed
+        assert_eq!(g.breaches(), 1);
+        g.sub(10); // saturates at 0
+        assert_eq!(g.value(), 0);
+        g.add(3); // crossed again
+        assert_eq!(g.breaches(), 2);
+        assert_eq!(g.extreme(), 4);
+    }
+
+    #[test]
+    fn unarmed_gauge_never_breaches() {
+        let g = Gauge::new("plain");
+        g.set(u64::MAX);
+        assert_eq!(g.threshold(), None);
+        assert_eq!(g.breaches(), 0);
+        assert!(!g.breached());
+    }
+
+    #[test]
+    fn snapshot_and_display() {
+        let g = Gauge::with_direction("free", Watermark::Low).with_threshold(2);
+        g.set(8);
+        g.set(1);
+        let s = g.snapshot();
+        assert_eq!(s.name, "free");
+        assert_eq!(s.value, 1);
+        assert_eq!(s.extreme, 1);
+        assert_eq!(s.threshold, Some(2));
+        assert_eq!(s.breaches, 1);
+        let text = s.to_string();
+        assert!(text.contains("free = 1"), "{text}");
+        assert!(text.contains("threshold 2"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact() {
+        let g = Gauge::new("contended").with_threshold(1_000_000);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        g.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 8000);
+        assert_eq!(g.extreme(), 8000);
+        assert_eq!(g.breaches(), 0);
+    }
+}

@@ -19,6 +19,10 @@
 //!    fusing audit-side structure ([`BucketStat`]) with trace-side CAS
 //!    retry counts.
 //!
+//! A fourth, instantaneous view — [`Gauge`] pressure gauges with watermark
+//! thresholds — carries live resource levels (outstanding slabs, free-unit
+//! headroom) from allocators to maintenance policies and soak tests.
+//!
 //! This crate is deliberately free of simulator dependencies; `simt` and
 //! the table crates hook into it, not the other way round.
 
@@ -26,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod gauge;
 pub mod heatmap;
 pub mod histogram;
 pub mod sink;
 pub mod trace;
 
 pub use event::{EventKind, TraceEvent, LAUNCH_WARP};
+pub use gauge::{Gauge, GaugeSnapshot, Watermark};
 pub use heatmap::{BucketStat, Heatmap, HotBucket};
 pub use histogram::{Histograms, LogHistogram, HISTOGRAM_BUCKETS};
 pub use sink::{

@@ -73,8 +73,8 @@ fn main() {
     // Deliberately under-bucketed (β ≈ 2.6): buckets chain 2–4 slabs deep,
     // so the trace exercises traversal, allocation, and link contention.
     let table = SlabHash::<KeyValue>::new(SlabHashConfig {
-        num_buckets: 256,
         seed: 0x9f0f,
+        ..SlabHashConfig::with_buckets(256)
     });
     let grid = simt::Grid::default();
     let model = GpuModel::tesla_k40c();
@@ -167,4 +167,30 @@ fn main() {
     );
     assert_eq!(trace.op_count(), counters.ops);
     assert_eq!(trace.retry_sum(), counters.cas_failures);
+
+    // --- Memory-pressure epilogue -------------------------------------------
+    // Runs after `session.finish()` on purpose: maintenance traffic must not
+    // perturb the 2x40k-op trace reconciliation above. Delete the whole
+    // working set, then let one maintenance pass compact the tombstoned
+    // chains and surface the allocator's pressure gauges.
+    let mut dels: Vec<Request> = (0..universe as u32).map(Request::delete).collect();
+    table.execute_batch(&mut dels, &grid);
+    let maint = table.maintain(&grid);
+    println!(
+        "\nmaintenance after full churn: released {} slabs, reclaimed {}, retired pending {}",
+        maint.flushed.map_or(0, |f| f.slabs_released),
+        maint.reclaimed,
+        table.retired_slab_count(),
+    );
+    for gauge in table.allocator().pressure_gauges() {
+        println!("  gauge {gauge}");
+    }
+    let audit = table.audit().expect("post-churn audit");
+    println!(
+        "post-churn audit: live {}, frozen lanes {}, retired {}, double frees {}",
+        audit.live_elements, audit.frozen_lanes, audit.retired_slabs, audit.double_frees,
+    );
+    assert_eq!(audit.frozen_lanes, 0);
+    assert_eq!(audit.double_frees, 0);
+    assert!(audit.no_leaks(), "maintenance must account for every slab");
 }
