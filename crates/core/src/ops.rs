@@ -196,6 +196,14 @@ pub struct Request {
 }
 
 impl Request {
+    /// Clears the result back to [`OpResult::Pending`] so the request can
+    /// be executed again; operation, key and value are kept. Steady-state
+    /// batch loops (see [`crate::BatchBuffer`]) reset requests in place
+    /// instead of rebuilding the batch.
+    pub fn reset(&mut self) {
+        self.result = OpResult::Pending;
+    }
+
     /// INSERT(k, v).
     pub fn insert(key: u32, value: u32) -> Self {
         Self {

@@ -3,20 +3,27 @@
 //! A GPU kernel launch creates `ceil(n / 32)` warps that the hardware
 //! scheduler multiplexes over its streaming multiprocessors. We reproduce the
 //! structure directly: work items (one per simulated GPU thread) are split
-//! into warp-sized chunks and a pool of OS threads drains them from a shared
-//! queue. Warps that run on different OS threads execute *genuinely
-//! concurrently*, so every inter-warp race in the paper's lock-free
-//! algorithms (CAS retries, allocate-then-link races, delete/search
-//! interleavings) is exercised for real, not emulated.
+//! into warp-sized chunks and a pool of OS threads drains them by bumping a
+//! shared atomic claim counter. Warps that run on different OS threads
+//! execute *genuinely concurrently*, so every inter-warp race in the paper's
+//! lock-free algorithms (CAS retries, allocate-then-link races,
+//! delete/search interleavings) is exercised for real, not emulated.
+//!
+//! Executor threads are persistent (see [`Dispatch::Pooled`] and the
+//! crate's `pool` module): a launch wakes the grid's parked workers
+//! instead of spawning fresh OS threads, mirroring how a GPU's SMs are
+//! always powered and merely fed new blocks.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use telemetry::{EventKind, Histograms, WarpTracer, LAUNCH_WARP};
+use telemetry::{EventKind, Histograms, SessionHandle, WarpTracer, LAUNCH_WARP};
 
 use crate::counters::PerfCounters;
+use crate::pool::{ChunkDispenser, Pool};
 use crate::warp::WARP_SIZE;
 
 /// Per-warp execution context handed to kernels.
@@ -50,13 +57,17 @@ impl WarpCtx {
 
     /// A fresh context bound to the calling thread's trace session.
     fn fresh(warp_id: usize) -> Self {
+        Self::bound(warp_id, telemetry::current_session().as_ref())
+    }
+
+    /// A fresh context recording into `session` (captured once per launch on
+    /// the launching thread, then shared with every executor).
+    fn bound(warp_id: usize, session: Option<&SessionHandle>) -> Self {
         Self {
             warp_id,
             counters: PerfCounters::default(),
             histograms: Histograms::default(),
-            tracer: telemetry::current_session()
-                .as_ref()
-                .map(telemetry::SessionHandle::tracer),
+            tracer: session.map(SessionHandle::tracer),
             ops_at_warp_begin: 0,
         }
     }
@@ -165,35 +176,83 @@ impl std::fmt::Display for LaunchError {
     }
 }
 
+/// How a [`Grid`] turns warps into OS-thread work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Persistent parked executors (the default): the grid owns
+    /// `num_threads - 1` worker threads, spawned lazily on the first
+    /// parallel launch; each launch wakes them and the launching thread
+    /// executes alongside. Concurrent launches on one shared grid (and
+    /// nested launches from inside a kernel) transparently fall back to
+    /// scoped spawning for that launch.
+    Pooled,
+    /// Legacy per-launch `std::thread::scope` spawning. Kept as the
+    /// benchmarking baseline (`perf`'s pooled-vs-scoped ablation) and as
+    /// the pooled path's fallback.
+    Scoped,
+}
+
 /// The warp scheduler: a fixed-width pool of OS threads standing in for the
 /// GPU's SMs.
-#[derive(Debug, Clone)]
+///
+/// Clones share the same executor pool, so passing a grid by clone is cheap
+/// and keeps one set of worker threads per logical scheduler.
+#[derive(Clone)]
 pub struct Grid {
     num_threads: usize,
+    dispatch: Dispatch,
+    pool: Arc<OnceLock<Pool>>,
+}
+
+impl std::fmt::Debug for Grid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grid")
+            .field("num_threads", &self.num_threads)
+            .field("dispatch", &self.dispatch)
+            .field("pool_started", &self.pool.get().is_some())
+            .finish()
+    }
 }
 
 impl Default for Grid {
     fn default() -> Self {
-        Self::new(
+        // `available_parallelism` is a syscall on most platforms; benches
+        // and tests construct grids freely, so query it once per process.
+        static PARALLELISM: OnceLock<usize> = OnceLock::new();
+        Self::new(*PARALLELISM.get_or_init(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(4),
-        )
+                .unwrap_or(4)
+        }))
     }
 }
 
 impl Grid {
     /// A scheduler with `num_threads` concurrent warp executors (clamped to
-    /// at least one).
+    /// at least one), using the default [`Dispatch::Pooled`] strategy.
     pub fn new(num_threads: usize) -> Self {
+        Self::with_dispatch(num_threads, Dispatch::Pooled)
+    }
+
+    /// A scheduler that spawns scoped threads per launch
+    /// ([`Dispatch::Scoped`]) — the pre-pool behaviour, kept for A/B
+    /// measurement against the pooled path.
+    pub fn scoped(num_threads: usize) -> Self {
+        Self::with_dispatch(num_threads, Dispatch::Scoped)
+    }
+
+    /// A scheduler with an explicit dispatch strategy.
+    pub fn with_dispatch(num_threads: usize, dispatch: Dispatch) -> Self {
         Self {
             num_threads: num_threads.max(1),
+            dispatch,
+            pool: Arc::new(OnceLock::new()),
         }
     }
 
     /// A single-threaded scheduler: warps run one after another in warp-id
     /// order. Deterministic — used by tests that need reproducible
-    /// interleavings-free behaviour.
+    /// interleavings-free behaviour. Never spawns worker threads.
     pub fn sequential() -> Self {
         Self::new(1)
     }
@@ -201,6 +260,11 @@ impl Grid {
     /// Number of OS threads used for warp execution.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// The dispatch strategy this grid launches with.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// Launches a kernel over `items`, one item per simulated GPU thread.
@@ -234,40 +298,39 @@ impl Grid {
         T: Send,
         F: Fn(&mut WarpCtx, &mut [T]) + Sync,
     {
-        let start = Instant::now();
-        let chunks: Vec<(usize, &mut [T])> = items.chunks_mut(WARP_SIZE).enumerate().collect();
-        let warps = chunks.len();
-        let queue = parking_lot::Mutex::new(chunks.into_iter());
+        let dispenser = ChunkDispenser::new(items, WARP_SIZE);
+        let warps = dispenser.num_chunks();
         let containment = Containment::default();
         let session = telemetry::current_session();
         if let Some(s) = &session {
             s.emit(LAUNCH_WARP, EventKind::LaunchBegin { warps: warps as u32 });
         }
-        let (counters, histograms) = self.run_warps(warps, |warp_ctx| loop {
-            if containment.poisoned() {
-                break;
-            }
-            let next = queue.lock().next();
-            match next {
-                Some((warp_id, chunk)) => {
-                    warp_ctx.warp_id = warp_id;
-                    warp_ctx.begin_warp();
-                    let ok = containment.run_warp(warp_id, || kernel(warp_ctx, chunk));
-                    warp_ctx.end_warp();
-                    if !ok {
-                        break;
-                    }
+        // The wall clock starts after launch setup (chunk arithmetic,
+        // session lookup) so `LaunchReport::wall` measures kernel
+        // execution, not host bookkeeping.
+        let start = Instant::now();
+        let (counters, histograms) = self.run_warps(warps, session.as_ref(), |warp_ctx| {
+            while !containment.poisoned() {
+                let Some((warp_id, chunk)) = dispenser.next() else {
+                    break;
+                };
+                warp_ctx.warp_id = warp_id;
+                warp_ctx.begin_warp();
+                let ok = containment.run_warp(warp_id, || kernel(warp_ctx, chunk));
+                warp_ctx.end_warp();
+                if !ok {
+                    break;
                 }
-                None => break,
             }
         });
+        let wall = start.elapsed();
         if let Some(s) = &session {
             s.emit(LAUNCH_WARP, EventKind::LaunchEnd { warps: warps as u32 });
         }
         containment.into_result(LaunchReport {
             counters,
             histograms,
-            wall: start.elapsed(),
+            wall,
             warps,
         })
     }
@@ -297,7 +360,6 @@ impl Grid {
     where
         F: Fn(&mut WarpCtx) + Sync,
     {
-        let start = Instant::now();
         let next_warp = AtomicUsize::new(0);
         let containment = Containment::default();
         let session = telemetry::current_session();
@@ -309,7 +371,9 @@ impl Grid {
                 },
             );
         }
-        let (counters, histograms) = self.run_warps(num_warps, |warp_ctx| loop {
+        // As in `try_launch`: time the kernel, not the setup.
+        let start = Instant::now();
+        let (counters, histograms) = self.run_warps(num_warps, session.as_ref(), |warp_ctx| loop {
             if containment.poisoned() {
                 break;
             }
@@ -325,6 +389,7 @@ impl Grid {
                 break;
             }
         });
+        let wall = start.elapsed();
         if let Some(s) = &session {
             s.emit(
                 LAUNCH_WARP,
@@ -336,23 +401,31 @@ impl Grid {
         containment.into_result(LaunchReport {
             counters,
             histograms,
-            wall: start.elapsed(),
+            wall,
             warps: num_warps,
         })
     }
 
-    /// Spawns the executor threads, runs `body` on each with a fresh warp
-    /// context, and merges the resulting counter and histogram blocks.
-    /// Bodies must not unwind (the `try_` launch entry points catch
-    /// per-warp panics before they reach here).
-    fn run_warps<B>(&self, expected_warps: usize, body: B) -> (PerfCounters, Histograms)
+    /// Runs `body` on each executor with a fresh warp context and merges
+    /// the resulting counter and histogram blocks. Bodies must not unwind
+    /// (the `try_` launch entry points catch per-warp panics before they
+    /// reach here).
+    ///
+    /// `session` is the launching thread's trace session, captured once by
+    /// the caller; executors record into private rings bound to it.
+    fn run_warps<B>(
+        &self,
+        expected_warps: usize,
+        session: Option<&SessionHandle>,
+        body: B,
+    ) -> (PerfCounters, Histograms)
     where
         B: Fn(&mut WarpCtx) + Sync,
     {
-        // Don't spawn more executors than there are warps to run.
+        // Don't wake more executors than there are warps to run.
         let executors = self.num_threads.min(expected_warps.max(1));
         if executors == 1 {
-            let mut ctx = WarpCtx::fresh(0);
+            let mut ctx = WarpCtx::bound(0, session);
             body(&mut ctx);
             // `ctx` drops after the return value is built, flushing its
             // trace ring to the session sink before the launch returns.
@@ -361,29 +434,37 @@ impl Grid {
         let merged = parking_lot::Mutex::new((PerfCounters::default(), Histograms::default()));
         // Failure injection is enrolled per thread; executors inherit the
         // launching thread's enrollment so faults reach exactly the kernels
-        // launched under a ChaosGuard (and never a sibling test's). Trace
-        // sessions are likewise captured from the launching thread: each
-        // executor records into its own ring bound to that session.
+        // launched under a ChaosGuard (and never a sibling test's). The
+        // enrollment guard drops at the end of each invocation, so pooled
+        // workers shed it before the next launch. Trace sessions are
+        // likewise captured per launch from the launching thread.
         let enrolled = crate::chaos::thread_participates();
-        let session = telemetry::current_session();
-        std::thread::scope(|scope| {
-            for _ in 0..executors {
-                scope.spawn(|| {
-                    let _enroll = crate::chaos::participate_if(enrolled);
-                    let mut ctx = WarpCtx {
-                        warp_id: usize::MAX,
-                        counters: PerfCounters::default(),
-                        histograms: Histograms::default(),
-                        tracer: session.as_ref().map(telemetry::SessionHandle::tracer),
-                        ops_at_warp_begin: 0,
-                    };
-                    body(&mut ctx);
-                    let mut blocks = merged.lock();
-                    blocks.0.merge(&ctx.counters);
-                    blocks.1.merge(&ctx.histograms);
-                });
-            }
-        });
+        let executor = || {
+            let _enroll = crate::chaos::participate_if(enrolled);
+            let mut ctx = WarpCtx::bound(usize::MAX, session);
+            body(&mut ctx);
+            let mut blocks = merged.lock();
+            blocks.0.merge(&ctx.counters);
+            blocks.1.merge(&ctx.histograms);
+            // `ctx` drops here, flushing its trace ring before the pool
+            // counts this executor as done.
+        };
+        let ran_pooled = self.dispatch == Dispatch::Pooled && {
+            let pool = self.pool.get_or_init(|| Pool::new(self.num_threads - 1));
+            // The launching thread is one executor; the pool wakes the rest.
+            // `try_run` declines when another launch holds the pool (shared
+            // grid, or a kernel launching on its own grid) — fall through
+            // to scoped spawning for just that launch.
+            pool.try_run(executors - 1, &executor)
+        };
+        if !ran_pooled {
+            let executor = &executor;
+            std::thread::scope(|scope| {
+                for _ in 0..executors {
+                    scope.spawn(executor);
+                }
+            });
+        }
         merged.into_inner()
     }
 }
@@ -568,5 +649,82 @@ mod tests {
         let report = grid.launch(&mut items, |_, _| panic!("no warps expected"));
         assert_eq!(report.warps, 0);
         assert_eq!(report.counters, PerfCounters::default());
+    }
+
+    #[test]
+    fn default_dispatch_is_pooled_and_scoped_is_available() {
+        assert_eq!(Grid::new(4).dispatch(), Dispatch::Pooled);
+        assert_eq!(Grid::default().dispatch(), Dispatch::Pooled);
+        let scoped = Grid::scoped(4);
+        assert_eq!(scoped.dispatch(), Dispatch::Scoped);
+        let report = scoped.launch_warps(16, |ctx| ctx.counters.ops += 1);
+        assert_eq!(report.counters.ops, 16);
+    }
+
+    #[test]
+    fn pooled_grid_reuses_workers_across_many_launches() {
+        let grid = Grid::new(4);
+        for round in 0..100u64 {
+            let report = grid.launch_warps(16, |ctx| ctx.counters.ops += round + 1);
+            assert_eq!(report.counters.ops, 16 * (round + 1));
+            assert_eq!(report.warps, 16);
+        }
+    }
+
+    #[test]
+    fn cloned_grids_share_one_pool() {
+        let grid = Grid::new(4);
+        grid.launch_warps(8, |ctx| ctx.counters.ops += 1);
+        let clone = grid.clone();
+        assert!(Arc::ptr_eq(&grid.pool, &clone.pool));
+        let report = clone.launch_warps(8, |ctx| ctx.counters.ops += 1);
+        assert_eq!(report.counters.ops, 8);
+    }
+
+    #[test]
+    fn nested_launch_on_same_grid_falls_back_without_deadlock() {
+        let grid = Grid::new(4);
+        let inner_ops = AtomicU64::new(0);
+        let report = grid.launch_warps(4, |ctx| {
+            ctx.counters.ops += 1;
+            // Re-entering the grid from inside a kernel must not deadlock
+            // on the pool; the inner launch takes the scoped fallback.
+            let inner = grid.launch_warps(2, |ictx| ictx.counters.ops += 1);
+            inner_ops.fetch_add(inner.counters.ops, Ordering::Relaxed);
+        });
+        assert_eq!(report.counters.ops, 4);
+        assert_eq!(inner_ops.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_launches_on_shared_grid_all_complete() {
+        let grid = Grid::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        let report = grid.launch_warps(8, |ctx| ctx.counters.ops += 1);
+                        assert_eq!(report.counters.ops, 8);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pooled_grid_contains_panics_and_stays_usable() {
+        let grid = Grid::new(4);
+        for _ in 0..5 {
+            let err = grid
+                .try_launch_warps(32, |ctx| {
+                    if ctx.warp_id == 3 {
+                        panic!("warp 3 down");
+                    }
+                })
+                .expect_err("warp 3 must fail the launch");
+            assert_eq!(err.warp_id, 3);
+            let report = grid.launch_warps(32, |ctx| ctx.counters.ops += 1);
+            assert_eq!(report.counters.ops, 32);
+        }
     }
 }

@@ -1,0 +1,390 @@
+//! Persistent executor pool and lock-free warp-chunk dispatch.
+//!
+//! A GPU never pays thread-creation cost per kernel launch: the SMs are
+//! always there, and the hardware scheduler just feeds them blocks. The
+//! original [`Grid`](crate::grid::Grid) implementation spawned and joined a
+//! fresh set of scoped OS threads for *every* launch, which dominated the
+//! host-side cost of small and medium batches. This module supplies the two
+//! pieces that remove that overhead:
+//!
+//! * [`Pool`] — a set of parked worker threads owned by the grid. A launch
+//!   wakes them, they execute the launch's executor closure once each, and
+//!   they park again when the warp queue drains. The launching thread
+//!   participates as an executor itself, so a width-`n` grid keeps `n - 1`
+//!   workers.
+//! * [`ChunkDispenser`] — hands out disjoint warp-sized `&mut` chunks of the
+//!   launch's work items with a single `fetch_add` per warp: no queue
+//!   allocation, no lock on the hot path.
+//!
+//! # Why this module is allowed `unsafe`
+//!
+//! The rest of the workspace denies `unsafe_code` outright. Persistent
+//! workers executing *borrowed* launch closures are the one thing the safe
+//! subset cannot express: a worker thread is `'static`, the closure borrows
+//! the launch's stack frame. Soundness here rests on a single invariant,
+//! enforced by [`Pool::try_run`]:
+//!
+//! > `try_run` does not return until every executor invocation it started
+//! > has finished (observed as `remaining_starts == 0 && active == 0` under
+//! > the pool mutex).
+//!
+//! Because the launching thread blocks inside `try_run` for the whole time
+//! any worker can touch the closure, the borrow it erases provably outlives
+//! every use. [`ChunkDispenser`] similarly wraps one `fetch_add` index
+//! scheme behind an API that can never hand the same chunk out twice.
+//! Everything else in the crate builds on these two safe interfaces.
+#![allow(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
+use std::thread::JoinHandle;
+
+/// The launch's executor closure with its borrow erased to `'static`.
+///
+/// Only ever dereferenced by workers between a start claimed from
+/// `remaining_starts` and the matching `active` decrement — the window the
+/// launcher provably outlives (see the module docs).
+type ErasedJob = &'static (dyn Fn() + Sync);
+
+/// Pool state shared between the launcher and the workers, all under one
+/// mutex so the completion handshake doubles as the memory barrier that
+/// publishes worker-side writes (chunk contents, merged counters) back to
+/// the launcher.
+struct State {
+    /// The current launch's executor closure, present while a launch is in
+    /// flight.
+    job: Option<ErasedJob>,
+    /// Executor invocations not yet claimed by a worker.
+    remaining_starts: usize,
+    /// Executor invocations claimed and still running.
+    active: usize,
+    /// First panic that escaped an executor (the launch entry points catch
+    /// per-warp panics first, so this is a scheduler bug surfacing, not a
+    /// kernel fault).
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// Set once, on drop: workers exit instead of parking.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here; signalled on launch and on shutdown.
+    work_ready: Condvar,
+    /// The launcher parks here; signalled when the last executor finishes.
+    work_done: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, ignoring poisoning: the state is a plain bookkeeping
+    /// record that stays consistent even if a holder panicked (no invariant
+    /// spans the lock).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A persistent, parked worker pool: the grid's standing executor threads.
+///
+/// Spawned lazily by the grid's first parallel launch and shut down when the
+/// last grid clone drops. One launch runs at a time; the grid falls back to
+/// scoped threads when the pool is busy (concurrent launches on a shared
+/// grid) or re-entered (a kernel launching on its own grid).
+pub(crate) struct Pool {
+    shared: std::sync::Arc<Shared>,
+    /// Serializes launches; `try_lock` failure routes the launch to the
+    /// scoped fallback instead of queueing behind the pool.
+    launching: Mutex<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` parked executor threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                remaining_starts: 0,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("simt-warp-executor".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn warp executor")
+            })
+            .collect();
+        Self {
+            shared,
+            launching: Mutex::new(()),
+            workers,
+        }
+    }
+
+    /// Runs one launch on the pool: wakes up to `extra_executors` workers to
+    /// execute `job` once each, runs `job` on the calling thread as well,
+    /// and blocks until every started invocation has finished.
+    ///
+    /// Returns `false` without running anything when another launch holds
+    /// the pool (the caller then uses its scoped fallback). Re-raises on the
+    /// caller any panic that escaped an executor — after all executors have
+    /// finished, so the borrow stays valid even on the unwind path.
+    pub(crate) fn try_run(&self, extra_executors: usize, job: &(dyn Fn() + Sync)) -> bool {
+        let guard = match self.launching.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return false,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        let starts = extra_executors.min(self.workers.len());
+        // SAFETY: the erased borrow is only dereferenced by workers between
+        // claiming a start and decrementing `active`; this function does not
+        // return (or unwind) before both counters are back to zero, so the
+        // real lifetime of `job` covers every dereference.
+        let erased: ErasedJob = unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job)
+        };
+        {
+            let mut st = self.shared.lock();
+            debug_assert!(st.job.is_none() && st.remaining_starts == 0 && st.active == 0);
+            st.job = Some(erased);
+            st.remaining_starts = starts;
+        }
+        if starts > 0 {
+            self.shared.work_ready.notify_all();
+        }
+        // The launching thread is executor zero. Catch its panic so a
+        // buggy executor body cannot unwind past the completion wait.
+        let local = catch_unwind(AssertUnwindSafe(job));
+        let mut st = self.shared.lock();
+        while st.remaining_starts > 0 || st.active > 0 {
+            st = self
+                .shared
+                .work_done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        drop(guard);
+        if let Err(payload) = local {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+        true
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.remaining_starts > 0 {
+                    st.remaining_starts -= 1;
+                    st.active += 1;
+                    break st.job.expect("job present while starts remain");
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // The module invariant makes this call sound; see `ErasedJob`.
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut st = shared.lock();
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.active -= 1;
+        if st.active == 0 && st.remaining_starts == 0 {
+            shared.work_done.notify_one();
+        }
+    }
+}
+
+/// Lock-free dispenser of disjoint warp-sized `&mut` chunks.
+///
+/// Replaces the old `Mutex<vec::IntoIter>` warp queue: claiming a warp is
+/// one `fetch_add`, and the chunk's bounds come from offset arithmetic — no
+/// per-launch `Vec` of chunks, no lock.
+pub(crate) struct ChunkDispenser<'a, T> {
+    base: *mut T,
+    len: usize,
+    chunk: usize,
+    next: AtomicUsize,
+    _items: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the only way to reach the underlying elements is `next()`, and the
+// internal `fetch_add` is the sole source of chunk indices, so each disjoint
+// chunk is handed out at most once — concurrent callers can never obtain
+// aliasing `&mut` slices. `T: Send` is required because chunks move to other
+// threads.
+unsafe impl<T: Send> Sync for ChunkDispenser<'_, T> {}
+// SAFETY: same reasoning; the dispenser is just a claim counter over a
+// borrowed slice of `Send` elements.
+unsafe impl<T: Send> Send for ChunkDispenser<'_, T> {}
+
+impl<'a, T> ChunkDispenser<'a, T> {
+    /// Wraps `items` for handout in chunks of at most `chunk` elements.
+    pub(crate) fn new(items: &'a mut [T], chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        Self {
+            base: items.as_mut_ptr(),
+            len: items.len(),
+            chunk,
+            next: AtomicUsize::new(0),
+            _items: PhantomData,
+        }
+    }
+
+    /// Total chunks this dispenser will hand out (zero for an empty slice).
+    pub(crate) fn num_chunks(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    /// Claims the next chunk: its index and the exclusive slice, or `None`
+    /// once all chunks are taken.
+    pub(crate) fn next(&self) -> Option<(usize, &'a mut [T])> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if id >= self.num_chunks() {
+            return None;
+        }
+        let start = id * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        // SAFETY: `start..end` lies inside the borrowed slice, and the
+        // fetch_add above guarantees this chunk index — hence this element
+        // range — is claimed exactly once, so the returned `&mut` aliases
+        // nothing. Lifetime `'a` is the original borrow's.
+        let slice = unsafe { std::slice::from_raw_parts_mut(self.base.add(start), end - start) };
+        Some((id, slice))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispenser_hands_out_every_chunk_once() {
+        let mut items: Vec<u32> = (0..100).collect();
+        let dispenser = ChunkDispenser::new(&mut items, 32);
+        assert_eq!(dispenser.num_chunks(), 4);
+        let mut seen = vec![];
+        while let Some((id, chunk)) = dispenser.next() {
+            seen.push((id, chunk.len()));
+            for v in chunk.iter_mut() {
+                *v += 1000;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 32), (1, 32), (2, 32), (3, 4)]);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u32 + 1000));
+    }
+
+    #[test]
+    fn dispenser_empty_slice_yields_nothing() {
+        let mut items: Vec<u32> = vec![];
+        let dispenser = ChunkDispenser::new(&mut items, 32);
+        assert_eq!(dispenser.num_chunks(), 0);
+        assert!(dispenser.next().is_none());
+    }
+
+    #[test]
+    fn dispenser_handles_zero_sized_items() {
+        let mut items = vec![(); 70];
+        let dispenser = ChunkDispenser::new(&mut items, 32);
+        assert_eq!(dispenser.num_chunks(), 3);
+        let mut sizes: Vec<usize> = std::iter::from_fn(|| dispenser.next().map(|c| c.1.len())).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![6, 32, 32]);
+    }
+
+    #[test]
+    fn dispenser_is_exclusive_across_threads() {
+        let mut items = vec![0u64; 64 * 32];
+        let dispenser = ChunkDispenser::new(&mut items, 32);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    while let Some((id, chunk)) = dispenser.next() {
+                        for v in chunk.iter_mut() {
+                            // A datarace here would be caught by the final sum.
+                            *v += id as u64 + 1;
+                        }
+                    }
+                });
+            }
+        });
+        let expected: u64 = (1..=64).map(|id| id * 32).sum();
+        assert_eq!(items.iter().sum::<u64>(), expected);
+    }
+
+    #[test]
+    fn pool_runs_job_on_all_executors_and_reuses_workers() {
+        let pool = Pool::new(3);
+        for _ in 0..50 {
+            let hits = AtomicUsize::new(0);
+            let job = || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            };
+            assert!(pool.try_run(3, &job));
+            // launcher + 3 workers
+            assert_eq!(hits.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    #[test]
+    fn pool_clamps_starts_to_worker_count() {
+        let pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        let job = || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        assert!(pool.try_run(100, &job));
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_forwards_worker_panics_after_completion() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.try_run(2, &|| panic!("executor bug"));
+        }));
+        assert!(caught.is_err());
+        // The pool is intact and reusable after the unwind.
+        let hits = AtomicUsize::new(0);
+        let job = || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        assert!(pool.try_run(2, &job));
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+}
