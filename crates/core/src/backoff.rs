@@ -1,0 +1,189 @@
+//! Bounded jittered exponential backoff for contended retry loops.
+//!
+//! Every bounded-retry path in the table used to respond to a lost CAS the
+//! same way: re-read immediately (a hot spin), or burn a fixed number of
+//! `yield_now` calls. Under a CAS storm — many warps hammering one hot
+//! bucket, or an ingress broker re-dispatching a shed batch — synchronized
+//! hot retries make the contention *worse*: every competitor re-collides on
+//! the same cache line in the same instant. The classic fix (e.g. Ethernet,
+//! `crossbeam::Backoff`) is exponential backoff with *full jitter*: each
+//! retry waits a uniformly random duration in `[1, base · 2^attempt]`, so
+//! competitors decorrelate instead of marching in lockstep.
+//!
+//! [`Backoff`] packages that policy with no external dependencies: the
+//! jitter stream is a private SplitMix64 (deterministic per seed, so seeded
+//! chaos replays stay reproducible), short waits are `spin_loop` hints, and
+//! long waits escalate to `yield_now` so a descheduled competitor can make
+//! the progress the retry depends on. The helper is deliberately cheap to
+//! construct — two `u64`s and a config — so per-warp and per-batch users
+//! can keep one inline without allocation.
+
+/// Shape of the backoff curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Spin-hint ceiling at attempt 0; doubles per attempt (full jitter
+    /// picks uniformly in `[1, ceiling]`).
+    pub base_spins: u32,
+    /// Upper bound on the per-wait spin ceiling, however many attempts have
+    /// accumulated.
+    pub max_spins: u32,
+    /// Attempt number at which each wait additionally yields the thread
+    /// (spinning past a descheduled competitor is wasted work).
+    pub yield_threshold: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            base_spins: 4,
+            max_spins: 256,
+            yield_threshold: 4,
+        }
+    }
+}
+
+/// A jittered exponential backoff state machine.
+///
+/// One instance per logical retry loop: call [`wait`](Self::wait) after each
+/// failed attempt (or [`wait_attempt`](Self::wait_attempt) when the caller
+/// already tracks the attempt count), and [`reset`](Self::reset) after a
+/// success so the next contention episode starts from the short waits again.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    cfg: BackoffConfig,
+    attempt: u32,
+    /// SplitMix64 state for the jitter stream.
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff with the default curve, jitter-seeded by `seed`.
+    ///
+    /// Distinct competitors should use distinct seeds (warp id, client id,
+    /// batch sequence number) so their jitter streams decorrelate.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, BackoffConfig::default())
+    }
+
+    /// A backoff with an explicit curve.
+    pub fn with_config(seed: u64, cfg: BackoffConfig) -> Self {
+        Self {
+            cfg,
+            attempt: 0,
+            // Avoid the all-zeros SplitMix64 fixed point for seed 0.
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Failed attempts waited out since construction or the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Forgets accumulated attempts: the next wait is short again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Waits out one failed attempt and advances the curve.
+    pub fn wait(&mut self) {
+        let attempt = self.attempt;
+        self.attempt = self.attempt.saturating_add(1);
+        self.wait_attempt(attempt);
+    }
+
+    /// Waits as if `attempt` prior attempts had failed, without touching the
+    /// internal attempt counter (for callers that already count retries,
+    /// e.g. the per-request retry arrays in the op kernels).
+    pub fn wait_attempt(&mut self, attempt: u32) {
+        // Full jitter: uniform in [1, min(base · 2^attempt, max)].
+        let exp = attempt.min(16);
+        let ceiling = self
+            .cfg
+            .base_spins
+            .saturating_mul(1u32.wrapping_shl(exp))
+            .clamp(1, self.cfg.max_spins.max(1));
+        let spins = 1 + (self.next_u64() % u64::from(ceiling)) as u32;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if attempt >= self.cfg.yield_threshold {
+            std::thread::yield_now();
+        }
+    }
+
+    /// The private SplitMix64 jitter stream.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_counter_advances_and_resets() {
+        let mut b = Backoff::new(7);
+        assert_eq!(b.attempt(), 0);
+        b.wait();
+        b.wait();
+        assert_eq!(b.attempt(), 2);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+    }
+
+    #[test]
+    fn wait_attempt_does_not_advance_counter() {
+        let mut b = Backoff::new(7);
+        b.wait_attempt(9);
+        assert_eq!(b.attempt(), 0);
+    }
+
+    #[test]
+    fn jitter_streams_differ_by_seed_and_are_deterministic() {
+        let mut a1 = Backoff::new(1);
+        let mut a2 = Backoff::new(1);
+        let mut b = Backoff::new(2);
+        let s1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let s3: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(s1, s2, "same seed must replay the same stream");
+        assert_ne!(s1, s3, "distinct seeds must decorrelate");
+    }
+
+    #[test]
+    fn curve_is_bounded_even_at_huge_attempts() {
+        // `wait_attempt` must terminate quickly no matter the attempt count:
+        // the ceiling saturates at max_spins, the shift exponent is clamped.
+        let mut b = Backoff::with_config(
+            3,
+            BackoffConfig {
+                base_spins: 2,
+                max_spins: 64,
+                yield_threshold: 1,
+            },
+        );
+        for attempt in [0, 1, 16, 1000, u32::MAX] {
+            b.wait_attempt(attempt);
+        }
+    }
+
+    #[test]
+    fn zero_config_never_divides_by_zero() {
+        let mut b = Backoff::with_config(
+            0,
+            BackoffConfig {
+                base_spins: 0,
+                max_spins: 0,
+                yield_threshold: 0,
+            },
+        );
+        b.wait();
+        b.wait();
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod batch;
 pub mod bulk;
 pub mod collections;
@@ -57,6 +58,7 @@ pub mod ops_per_thread;
 pub mod slab_list;
 pub mod stats;
 
+pub use backoff::{Backoff, BackoffConfig};
 pub use batch::BatchBuffer;
 pub use driver::WarpDriver;
 pub use entry::{EntryLayout, KeyOnly, KeyValue, DELETED_KEY, EMPTY_KEY, FROZEN_KEY, MAX_KEY};

@@ -25,6 +25,7 @@ use std::sync::Mutex;
 use simt::{EpochClock, Grid, WarpCtx};
 use slab_alloc::SlabAllocator;
 
+use crate::backoff::Backoff;
 use crate::entry::{EntryLayout, EMPTY_KEY};
 use crate::error::TableError;
 use crate::flush::FlushReport;
@@ -84,8 +85,9 @@ pub struct MaintenancePolicy {
     pub mode: PressureMode,
     /// Maximum recovery rounds before a blocked operation gives up anyway.
     pub max_rounds: u32,
-    /// `yield_now` calls between recovery rounds, so racing warps can make
-    /// the progress the retry depends on.
+    /// Jittered backoff waits between recovery rounds (see
+    /// [`Backoff`]), so racing warps can make the progress
+    /// the retry depends on without re-colliding in lockstep.
     pub backoff_yields: u32,
 }
 
@@ -188,8 +190,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                 {
                     self.allocator().try_grow();
                 }
-                for _ in 0..policy.backoff_yields {
-                    std::thread::yield_now();
+                // Jittered exponential backoff, scaled by how many recovery
+                // rounds this operation has already burned: competitors
+                // retrying the same drained allocator decorrelate instead of
+                // re-colliding the instant maintenance frees capacity.
+                let mut backoff = Backoff::new(0xB0FF ^ u64::from(round));
+                for step in 0..policy.backoff_yields {
+                    backoff.wait_attempt(round.saturating_add(step));
                 }
                 true
             }

@@ -362,6 +362,10 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         let mut strict_inserting = [false; WARP_SIZE];
         // Lost-CAS count per request, against RETRY_BUDGET.
         let mut retries = [0u32; WARP_SIZE];
+        // Contention response: jittered exponential backoff, seeded per warp
+        // so competing warps decorrelate. Only consulted on rounds that lost
+        // a CAS — the uncontended path never touches it.
+        let mut backoff = crate::backoff::Backoff::new(0xCA5 ^ ctx.warp_id as u64);
         // Telemetry: rounds spent as the source lane and chain hops taken,
         // per request (recorded into histograms / trace when it finishes).
         let mut rounds_per_req = [0u32; WARP_SIZE];
@@ -725,6 +729,12 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
                         retries[src_lane],
                         OpResult::Failed(TableError::RetryBudgetExhausted { budget }),
                     );
+                } else {
+                    // A CAS storm on this bucket: back off (jittered, scaled
+                    // by this request's accumulated retries) before the
+                    // re-read, instead of hot-spinning into the same
+                    // collision every competitor retries at once.
+                    backoff.wait_attempt(retries[src_lane].min(12));
                 }
             }
         }

@@ -1,0 +1,292 @@
+//! Circuit breaker over write outcomes.
+//!
+//! When the table is in sustained trouble — the allocator exhausted faster
+//! than maintenance can heal it, or a fault plan failing every CAS — retrying
+//! every incoming write just burns broker time that reads could be using.
+//! The breaker watches a sliding window of recent write dispositions and
+//! implements the classic three-state machine:
+//!
+//! * **Closed** — writes flow; outcomes are recorded. When at least
+//!   [`BreakerConfig::min_samples`] of the last [`BreakerConfig::window`]
+//!   writes are recorded and the failure fraction reaches
+//!   [`BreakerConfig::trip_ratio`], the breaker trips open.
+//! * **Open** — writes are refused outright ([`IngressError::BreakerOpen`]
+//!   (crate::IngressError::BreakerOpen)) for [`BreakerConfig::cooldown`];
+//!   the table gets breathing room to heal.
+//! * **Half-open** — after the cooldown, up to
+//!   [`BreakerConfig::half_open_probes`] probe writes are admitted. All
+//!   succeeding closes the breaker (window cleared); any failing re-opens it
+//!   for another cooldown.
+//!
+//! Time is passed in explicitly (`now: Instant`) so the state machine is
+//! deterministic under test.
+
+use std::time::{Duration, Instant};
+
+/// Tuning for the [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window of recent write dispositions the trip decision
+    /// considers.
+    pub window: usize,
+    /// Minimum recorded dispositions before the breaker may trip (avoids
+    /// tripping on the first lonely failure).
+    pub min_samples: usize,
+    /// Failure fraction over the window at which the breaker trips open.
+    pub trip_ratio: f64,
+    /// How long the breaker stays open before half-opening.
+    pub cooldown: Duration,
+    /// Probe writes admitted in the half-open state; all must succeed to
+    /// close the breaker.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            min_samples: 16,
+            trip_ratio: 0.5,
+            cooldown: Duration::from_millis(50),
+            half_open_probes: 4,
+        }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Writes flow normally.
+    Closed,
+    /// Writes are refused; cooling down.
+    Open,
+    /// Admitting a limited number of probe writes.
+    HalfOpen,
+}
+
+/// Sliding-window circuit breaker (see the module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Ring of recent dispositions, `true` = failure. Sized lazily up to
+    /// `cfg.window`.
+    ring: Vec<bool>,
+    idx: usize,
+    failures: usize,
+    opened_at: Option<Instant>,
+    probes_admitted: u32,
+    probe_successes: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning (`window`, `min_samples`, and
+    /// `half_open_probes` are clamped to at least 1).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cfg = BreakerConfig {
+            window: cfg.window.max(1),
+            min_samples: cfg.min_samples.max(1),
+            half_open_probes: cfg.half_open_probes.max(1),
+            ..cfg
+        };
+        Self {
+            ring: Vec::with_capacity(cfg.window),
+            cfg,
+            state: BreakerState::Closed,
+            idx: 0,
+            failures: 0,
+            opened_at: None,
+            probes_admitted: 0,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (an `Open` breaker reports `Open` until the next
+    /// [`admit_write`](Self::admit_write) observes the cooldown elapsed).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transitions into the open state since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Admission decision for one write. `false` means the write must be
+    /// refused with a breaker error. May transition Open → HalfOpen when the
+    /// cooldown has elapsed.
+    pub fn admit_write(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_none_or(|t| now.duration_since(t) >= self.cfg.cooldown);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_admitted = 1;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_admitted < self.cfg.half_open_probes {
+                    self.probes_admitted += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records the final disposition of one admitted write (`ok = false`
+    /// also covers admission sheds the breaker should learn from, e.g.
+    /// memory-pressure write shedding).
+    pub fn record(&mut self, now: Instant, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                let failure = !ok;
+                if self.ring.len() < self.cfg.window {
+                    self.ring.push(failure);
+                } else {
+                    if self.ring[self.idx] {
+                        self.failures -= 1;
+                    }
+                    self.ring[self.idx] = failure;
+                }
+                self.idx = (self.idx + 1) % self.cfg.window;
+                if failure {
+                    self.failures += 1;
+                }
+                if self.ring.len() >= self.cfg.min_samples
+                    && self.failures as f64 >= self.cfg.trip_ratio * self.ring.len() as f64
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.cfg.half_open_probes {
+                        self.close();
+                    }
+                } else {
+                    self.trip(now);
+                }
+            }
+            // Stragglers finishing after the trip carry stale information.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.trips += 1;
+        self.clear_window();
+    }
+
+    fn close(&mut self) {
+        self.state = BreakerState::Closed;
+        self.opened_at = None;
+        self.clear_window();
+    }
+
+    fn clear_window(&mut self) {
+        self.ring.clear();
+        self.idx = 0;
+        self.failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown,
+            half_open_probes: 2,
+        })
+    }
+
+    #[test]
+    fn trips_on_sustained_failures_not_on_one() {
+        let mut b = breaker(Duration::from_secs(1));
+        let now = Instant::now();
+        b.record(now, false);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        for _ in 0..3 {
+            b.record(now, true);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "25% failure rate");
+        for _ in 0..4 {
+            b.record(now, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.admit_write(now), "still cooling down");
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_closes_on_probe_success() {
+        let mut b = breaker(Duration::ZERO);
+        let now = Instant::now();
+        for _ in 0..4 {
+            b.record(now, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Zero cooldown: next admission half-opens and admits a probe.
+        assert!(b.admit_write(now));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit_write(now), "second probe admitted");
+        assert!(!b.admit_write(now), "probe quota exhausted");
+        b.record(now, true);
+        b.record(now, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit_write(now));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn reopens_when_a_probe_fails() {
+        let mut b = breaker(Duration::ZERO);
+        let now = Instant::now();
+        for _ in 0..4 {
+            b.record(now, false);
+        }
+        assert!(b.admit_write(now));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(now, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn window_slides_so_old_failures_age_out() {
+        let mut b = breaker(Duration::from_secs(1));
+        let now = Instant::now();
+        // One early failure, then a long run of successes: the failure ages
+        // out of the 8-slot window and the breaker never trips.
+        b.record(now, false);
+        for _ in 0..20 {
+            b.record(now, true);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        // The slid window still works: fresh sustained failures trip it.
+        for _ in 0..4 {
+            b.record(now, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+}

@@ -1,0 +1,484 @@
+//! The broker task: coalescing, admission control, dispatch, bounded
+//! retry, and reply routing.
+//!
+//! One broker thread owns the receive side of the bounded submission queue.
+//! Each cycle it drains up to [`BrokerConfig::max_batch`] envelopes, runs the
+//! admission pass (deadlines first, then the circuit breaker, then the
+//! allocator-headroom write shed), executes the surviving requests as one
+//! warp-shaped batch on the persistent executor pool, and routes every
+//! result back over its envelope's reply channel. Under the block policy,
+//! retryable failures are re-dispatched with the table's own recovery pass
+//! between rounds — bounded by [`BrokerConfig::max_dispatch_attempts`] and by
+//! each request's deadline, never by spinning.
+//!
+//! Degradation order under pressure is deliberate: writes are shed first
+//! (they consume slabs; reads do not), reads keep flowing until the queue
+//! itself fills, and every refusal is a typed reply — clients always learn
+//! the fate of their request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use simt::telemetry::{EventKind, SessionHandle, LAUNCH_WARP};
+use simt::{ChaosGuard, FaultPlan, Grid};
+use slab_alloc::SlabAllocator;
+use slab_hash::{
+    BatchBuffer, EntryLayout, MaintenancePolicy, OpKind, OpResult, PressureMode, Request, SlabHash,
+    TableError,
+};
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::client::{ClientHandle, Reply};
+use crate::error::IngressError;
+use crate::stats::IngressStats;
+
+/// One queued request: the operation, its deadline budget, and the channel
+/// its reply must be routed to.
+pub(crate) struct Envelope {
+    pub(crate) req: Request,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Instant,
+    pub(crate) reply: mpsc::Sender<Reply>,
+}
+
+impl Envelope {
+    fn budget(&self) -> Duration {
+        self.deadline.duration_since(self.submitted)
+    }
+
+    /// Answers the envelope and returns the broker-measured latency.
+    fn answer(self, result: Result<OpResult, IngressError>) -> Duration {
+        let latency = self.submitted.elapsed();
+        // A client that dropped its ticket is not an error; the reply is
+        // simply discarded.
+        let _ = self.reply.send(Reply { result, latency });
+        latency
+    }
+}
+
+/// Tuning for [`Broker::spawn`].
+#[derive(Clone)]
+pub struct BrokerConfig {
+    /// Bounded submission-queue capacity shared by every client handle.
+    pub queue_capacity: usize,
+    /// Most envelopes coalesced into one dispatched batch.
+    pub max_batch: usize,
+    /// Deadline budget for requests submitted without an explicit one.
+    pub default_deadline: Duration,
+    /// Reaction to retryable table failures: block (bounded re-dispatch)
+    /// or shed (one heal pass, fail fast).
+    pub policy: MaintenancePolicy,
+    /// Most dispatch rounds one request gets under the block policy
+    /// (including the first).
+    pub max_dispatch_attempts: u32,
+    /// Writes are shed while the allocator's free-slab gauge is at or below
+    /// this watermark (shed policy only). Reads are unaffected.
+    pub write_shed_headroom: u64,
+    /// Batches at least this large execute in bucket-partitioned order.
+    /// Partitioning pays off when bucket locality dominates dispatch cost
+    /// (wide hosts, huge batches); the default leaves it off — measure with
+    /// the launch-path bench before lowering this.
+    pub partition_threshold: usize,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// How long an idle broker sleeps between housekeeping checks.
+    pub idle_tick: Duration,
+    /// Grid to dispatch on; `None` builds a pooled grid sized to the host.
+    pub grid: Option<Grid>,
+    /// Fault plan installed on the broker thread (inherited by its
+    /// launches), for chaos soaks.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 4096,
+            max_batch: 1024,
+            default_deadline: Duration::from_millis(100),
+            policy: MaintenancePolicy::shed(),
+            max_dispatch_attempts: 4,
+            write_shed_headroom: 16,
+            partition_threshold: usize::MAX,
+            breaker: BreakerConfig::default(),
+            idle_tick: Duration::from_millis(1),
+            grid: None,
+            chaos: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for BrokerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerConfig")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_batch", &self.max_batch)
+            .field("default_deadline", &self.default_deadline)
+            .field("policy", &self.policy)
+            .field("max_dispatch_attempts", &self.max_dispatch_attempts)
+            .field("write_shed_headroom", &self.write_shed_headroom)
+            .field("partition_threshold", &self.partition_threshold)
+            .field("breaker", &self.breaker)
+            .field("idle_tick", &self.idle_tick)
+            .field("grid", &self.grid.as_ref().map(|_| "Grid"))
+            .field("chaos", &self.chaos)
+            .finish()
+    }
+}
+
+/// A running ingress broker: the owning handle for the broker thread.
+///
+/// Create with [`Broker::spawn`], mint client handles with
+/// [`Broker::handle`], and stop with [`Broker::shutdown`] to collect the
+/// lifetime [`IngressStats`].
+#[derive(Debug)]
+pub struct Broker {
+    tx: Option<mpsc::SyncSender<Envelope>>,
+    depth: Arc<AtomicUsize>,
+    thread: Option<thread::JoinHandle<IngressStats>>,
+    queue_capacity: usize,
+    default_deadline: Duration,
+}
+
+impl Broker {
+    /// Spawns the broker thread over `table`.
+    ///
+    /// The active telemetry session (if any) is captured from the *calling*
+    /// thread, so launches dispatched by the broker land in the caller's
+    /// trace. Likewise `cfg.chaos` (if set) is installed on the broker
+    /// thread, so chaos soaks inject faults into broker-dispatched batches
+    /// without touching the rest of the process.
+    pub fn spawn<L, A>(table: Arc<SlabHash<L, A>>, cfg: BrokerConfig) -> Self
+    where
+        L: EntryLayout,
+        A: SlabAllocator + Send + Sync + 'static,
+    {
+        let capacity = cfg.queue_capacity.max(1);
+        let default_deadline = cfg.default_deadline;
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(capacity);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let depth_for_broker = Arc::clone(&depth);
+        // `current_session` is thread-local: capture here, on the spawning
+        // thread, and move the handle into the broker.
+        let session = simt::telemetry::current_session();
+        let thread = thread::Builder::new()
+            .name("slab-ingress-broker".into())
+            .spawn(move || run_broker(table, cfg, rx, depth_for_broker, session))
+            .expect("spawn ingress broker thread");
+        Self {
+            tx: Some(tx),
+            depth,
+            thread: Some(thread),
+            queue_capacity: capacity,
+            default_deadline,
+        }
+    }
+
+    /// Mints a new client handle onto this broker's queue.
+    pub fn handle(&self) -> ClientHandle {
+        ClientHandle::new(
+            self.tx.clone().expect("broker sender alive until shutdown"),
+            Arc::clone(&self.depth),
+            self.default_deadline,
+            self.queue_capacity,
+        )
+    }
+
+    /// Requests currently sitting in the submission queue (approximate).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Stops the broker and returns its lifetime stats.
+    ///
+    /// The broker drains and answers everything already queued, then exits
+    /// once every [`ClientHandle`] has been dropped — outstanding handles
+    /// keep the queue open, so drop them (or their owning threads must
+    /// finish) before calling this.
+    pub fn shutdown(mut self) -> IngressStats {
+        self.tx.take();
+        self.thread
+            .take()
+            .expect("broker thread joined once")
+            .join()
+            .expect("ingress broker thread panicked")
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(thread) = self.thread.take() {
+            // Propagating a broker panic out of drop would abort; surfacing
+            // it via `shutdown` is the supported path.
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Writes consume slabs; searches only read. The shed and breaker paths key
+/// off this split.
+fn is_write(op: OpKind) -> bool {
+    !matches!(op, OpKind::Search | OpKind::SearchAll)
+}
+
+/// Failures the block policy may re-dispatch after a recovery pass.
+fn is_retryable(err: TableError) -> bool {
+    matches!(
+        err,
+        TableError::OutOfSlabs(_) | TableError::RetryBudgetExhausted { .. }
+    )
+}
+
+struct BrokerRun<L: EntryLayout, A: SlabAllocator> {
+    table: Arc<SlabHash<L, A>>,
+    cfg: BrokerConfig,
+    grid: Grid,
+    breaker: CircuitBreaker,
+    breaker_state: BreakerState,
+    session: Option<SessionHandle>,
+    stats: IngressStats,
+    batch: BatchBuffer,
+}
+
+fn run_broker<L, A>(
+    table: Arc<SlabHash<L, A>>,
+    cfg: BrokerConfig,
+    rx: mpsc::Receiver<Envelope>,
+    depth: Arc<AtomicUsize>,
+    session: Option<SessionHandle>,
+) -> IngressStats
+where
+    L: EntryLayout,
+    A: SlabAllocator + Send + Sync + 'static,
+{
+    // Installed for the broker thread's lifetime: launches dispatched from
+    // here inherit the plan, so chaos soaks fault broker batches only.
+    let _chaos = cfg.chaos.map(ChaosGuard::plan);
+    let grid = cfg.grid.clone().unwrap_or_else(|| {
+        Grid::new(thread::available_parallelism().map_or(4, |n| n.get().min(8)))
+    });
+    let mut run = BrokerRun {
+        breaker: CircuitBreaker::new(cfg.breaker),
+        breaker_state: BreakerState::Closed,
+        batch: BatchBuffer::with_capacity(cfg.max_batch.max(1)),
+        table,
+        cfg,
+        grid,
+        session,
+        stats: IngressStats::default(),
+    };
+    let mut envelopes: Vec<Envelope> = Vec::with_capacity(run.cfg.max_batch.max(1));
+
+    loop {
+        // Block (briefly) for the first envelope; Disconnected means every
+        // sender is gone AND the buffer is drained — `sync_channel` delivers
+        // buffered messages before reporting disconnect, so no queued
+        // request is ever dropped on shutdown.
+        match rx.recv_timeout(run.cfg.idle_tick) {
+            Ok(env) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                envelopes.push(env);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                run.idle_housekeeping();
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        // Opportunistically coalesce whatever else is already queued.
+        while envelopes.len() < run.cfg.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(env) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    envelopes.push(env);
+                }
+                Err(_) => break,
+            }
+        }
+        let backlog = depth.load(Ordering::Relaxed);
+        run.stats.submitted += envelopes.len() as u64;
+        run.stats
+            .histograms
+            .queue_depth
+            .record((envelopes.len() + backlog) as u64);
+        run.emit("dispatch", (envelopes.len() + backlog) as u32);
+        run.process_batch(std::mem::take(&mut envelopes));
+    }
+    run.stats
+}
+
+impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
+    fn emit(&self, action: &'static str, depth: u32) {
+        if let Some(session) = &self.session {
+            session.emit(LAUNCH_WARP, EventKind::Ingress { action, depth });
+        }
+    }
+
+    /// Idle cycles are spent healing: if the allocator is inside the write
+    /// shed watermark, run a maintenance pass so capacity recovers while no
+    /// traffic is waiting.
+    fn idle_housekeeping(&mut self) {
+        if self.table.allocator().free_slabs() <= self.cfg.write_shed_headroom {
+            self.table.maintain(&self.grid);
+        }
+    }
+
+    /// Tracks breaker trips and state transitions into counters and trace
+    /// events after every point where the breaker may have moved.
+    fn note_breaker(&mut self) {
+        let trips = self.breaker.trips();
+        let billed = self.stats.counters.breaker_open;
+        if trips > billed {
+            self.stats.counters.breaker_open = trips;
+            self.emit("breaker_open", (trips - billed) as u32);
+        }
+        let state = self.breaker.state();
+        if state != self.breaker_state {
+            match state {
+                BreakerState::HalfOpen => self.emit("breaker_half_open", 0),
+                BreakerState::Closed => self.emit("breaker_close", 0),
+                BreakerState::Open => {}
+            }
+            self.breaker_state = state;
+        }
+    }
+
+    /// Admission, dispatch, bounded retry, and reply routing for one
+    /// coalesced batch.
+    fn process_batch(&mut self, envelopes: Vec<Envelope>) {
+        // --- Admission pass: deadline, breaker, memory-pressure shed. ---
+        let now = Instant::now();
+        let shed_writes = self.cfg.policy.mode == PressureMode::Shed
+            && self.table.allocator().free_slabs() <= self.cfg.write_shed_headroom;
+        let mut healed = false;
+        let mut pending: Vec<Envelope> = Vec::with_capacity(envelopes.len());
+        self.batch.clear();
+        for env in envelopes {
+            if now >= env.deadline {
+                self.stats.counters.timed_out += 1;
+                let budget = env.budget();
+                env.answer(Err(IngressError::DeadlineExceeded { budget }));
+                continue;
+            }
+            if is_write(env.req.op) {
+                if !self.breaker.admit_write(now) {
+                    self.stats.counters.shed += 1;
+                    env.answer(Err(IngressError::BreakerOpen));
+                    continue;
+                }
+                if shed_writes {
+                    // Memory-pressure shed is a write failure the breaker
+                    // should learn from: sustained pressure trips it open
+                    // and stops even the admission work.
+                    self.stats.counters.shed += 1;
+                    self.breaker.record(now, false);
+                    if !healed {
+                        self.table.maintain(&self.grid);
+                        healed = true;
+                    }
+                    env.answer(Err(IngressError::ShedWrite));
+                    continue;
+                }
+            }
+            self.batch.push(env.req.clone());
+            pending.push(env);
+        }
+        self.note_breaker();
+
+        // --- Dispatch + bounded retry. ---
+        let mut attempt = 0u32;
+        while !pending.is_empty() {
+            let report = if self.batch.len() >= self.cfg.partition_threshold {
+                self.table.execute_buffer_partitioned(&mut self.batch, &self.grid)
+            } else {
+                self.table.execute_buffer(&mut self.batch, &self.grid)
+            };
+            self.stats.batches += 1;
+            self.stats.counters.merge(&report.counters);
+            self.stats.histograms.merge(&report.histograms);
+
+            let now = Instant::now();
+            let mut retry: Vec<(Envelope, TableError)> = Vec::new();
+            for (req, env) in self.batch.requests().iter().zip(pending.drain(..)) {
+                let write = is_write(req.op);
+                match req.result {
+                    OpResult::Failed(err) if is_retryable(err) => {
+                        let may_retry = self.cfg.policy.mode == PressureMode::Block
+                            && attempt + 1 < self.cfg.max_dispatch_attempts
+                            && now < env.deadline;
+                        if may_retry {
+                            // Breaker verdict waits for the final
+                            // disposition; a retry is not yet a failure.
+                            retry.push((env, err));
+                        } else if now >= env.deadline {
+                            if write {
+                                self.breaker.record(now, false);
+                            }
+                            self.stats.counters.timed_out += 1;
+                            let budget = env.budget();
+                            env.answer(Err(IngressError::DeadlineExceeded { budget }));
+                        } else {
+                            if write {
+                                self.breaker.record(now, false);
+                            }
+                            // Heal once so the *next* batch finds capacity,
+                            // mirroring the shed policy's contract.
+                            if !healed {
+                                self.table.maintain(&self.grid);
+                                healed = true;
+                            }
+                            env.answer(Err(IngressError::Table(err)));
+                        }
+                    }
+                    OpResult::Failed(err) => {
+                        if write {
+                            self.breaker.record(now, false);
+                        }
+                        env.answer(Err(IngressError::Table(err)));
+                    }
+                    ref result => {
+                        if write {
+                            self.breaker.record(now, true);
+                        }
+                        self.stats.completed += 1;
+                        env.answer(Ok(result.clone()));
+                    }
+                }
+            }
+            self.note_breaker();
+            if retry.is_empty() {
+                break;
+            }
+
+            // One recovery pass (compact/reclaim/grow + jittered backoff,
+            // per the policy) covers the whole retry cohort.
+            let first_err = retry[0].1;
+            let heal_again =
+                self.table
+                    .recover(first_err, &self.cfg.policy, &self.grid, attempt);
+            if !heal_again {
+                for (env, err) in retry {
+                    if is_write(env.req.op) {
+                        self.breaker.record(now, false);
+                    }
+                    env.answer(Err(IngressError::Table(err)));
+                }
+                self.note_breaker();
+                break;
+            }
+            self.stats.retried += retry.len() as u64;
+            self.emit("retry", retry.len() as u32);
+            self.batch.clear();
+            for (env, _) in retry {
+                let mut req = env.req.clone();
+                req.reset();
+                self.batch.push(req);
+                pending.push(env);
+            }
+            attempt += 1;
+        }
+    }
+}

@@ -57,6 +57,16 @@ pub struct PerfCounters {
     /// and refused by the allocator in all build profiles (normally 0; a
     /// nonzero count means a reclamation bug upstream).
     pub double_frees: u64,
+    /// Requests refused by admission control (queue bounds, memory-pressure
+    /// write shedding, open circuit breaker) instead of executed. Billed by
+    /// the ingress broker, not by kernels.
+    pub shed: u64,
+    /// Requests that exceeded their deadline budget before completing and
+    /// were answered with a timeout error. Billed by the ingress broker.
+    pub timed_out: u64,
+    /// Circuit-breaker transitions into the open state (each one is a
+    /// sustained-failure episode, not a single failed request).
+    pub breaker_open: u64,
 }
 
 impl PerfCounters {
@@ -84,6 +94,9 @@ impl PerfCounters {
             lock_acquisitions,
             retry_exhaustions,
             double_frees,
+            shed,
+            timed_out,
+            breaker_open,
         } = *other;
         self.slab_reads += slab_reads;
         self.sector_reads += sector_reads;
@@ -101,6 +114,9 @@ impl PerfCounters {
         self.lock_acquisitions += lock_acquisitions;
         self.retry_exhaustions += retry_exhaustions;
         self.double_frees += double_frees;
+        self.shed += shed;
+        self.timed_out += timed_out;
+        self.breaker_open += breaker_open;
     }
 
     /// Total bytes moved through the memory system under the transaction
@@ -181,6 +197,9 @@ mod tests {
             lock_acquisitions: 13,
             retry_exhaustions: 15,
             double_frees: 16,
+            shed: 17,
+            timed_out: 18,
+            breaker_open: 19,
         };
         let doubled = a + a;
         // Exhaustive by construction: both the input literal above and this
@@ -204,6 +223,9 @@ mod tests {
             lock_acquisitions: 26,
             retry_exhaustions: 30,
             double_frees: 32,
+            shed: 34,
+            timed_out: 36,
+            breaker_open: 38,
         };
         assert_eq!(doubled, expected);
     }

@@ -267,6 +267,24 @@ impl Grid {
         self.dispatch
     }
 
+    /// Fault-injection hook for robustness tests: makes up to `n` of the
+    /// grid's pool workers exit as if they had died (starting the pool if it
+    /// has not launched yet), blocks until they are gone, and returns the
+    /// number of workers still alive. Subsequent launches must keep
+    /// completing on the survivors — launcher-only in the limit — instead of
+    /// hanging the completion barrier. No-op (returns 0) on scoped grids,
+    /// which have no pool.
+    #[doc(hidden)]
+    pub fn debug_kill_pool_workers(&self, n: usize) -> usize {
+        match self.dispatch {
+            Dispatch::Scoped => 0,
+            Dispatch::Pooled => self
+                .pool
+                .get_or_init(|| Pool::new(self.num_threads - 1))
+                .kill_workers(n),
+        }
+    }
+
     /// Launches a kernel over `items`, one item per simulated GPU thread.
     ///
     /// `kernel` is invoked once per warp with the warp's up-to-32 work items;

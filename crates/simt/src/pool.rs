@@ -66,6 +66,15 @@ struct State {
     panic: Option<Box<dyn std::any::Any + Send + 'static>>,
     /// Set once, on drop: workers exit instead of parking.
     shutdown: bool,
+    /// Worker threads still alive. A launch never hands out more starts
+    /// than there are live workers to claim them, and the last dying worker
+    /// zeroes any starts it strands — so the completion barrier in
+    /// [`Pool::try_run`] cannot hang on executors that will never run.
+    alive: usize,
+    /// Fault-injection hook: each pending request makes one parked worker
+    /// exit its loop as if it had died (test builds drive this through
+    /// [`Pool::kill_workers`] to prove the barrier survives worker death).
+    die_requests: usize,
 }
 
 struct Shared {
@@ -109,6 +118,8 @@ impl Pool {
                 active: 0,
                 panic: None,
                 shutdown: false,
+                alive: workers,
+                die_requests: 0,
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
@@ -143,7 +154,6 @@ impl Pool {
             Err(TryLockError::WouldBlock) => return false,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
         };
-        let starts = extra_executors.min(self.workers.len());
         // SAFETY: the erased borrow is only dereferenced by workers between
         // claiming a start and decrementing `active`; this function does not
         // return (or unwind) before both counters are back to zero, so the
@@ -151,12 +161,16 @@ impl Pool {
         let erased: ErasedJob = unsafe {
             std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job)
         };
-        {
+        let starts = {
             let mut st = self.shared.lock();
             debug_assert!(st.job.is_none() && st.remaining_starts == 0 && st.active == 0);
+            // Clamp to *live* workers, not spawned workers: a start that no
+            // living worker can claim would strand the completion wait.
+            let starts = extra_executors.min(st.alive);
             st.job = Some(erased);
             st.remaining_starts = starts;
-        }
+            starts
+        };
         if starts > 0 {
             self.shared.work_ready.notify_all();
         }
@@ -183,6 +197,29 @@ impl Pool {
         }
         true
     }
+
+    /// Fault-injection hook: makes up to `n` workers exit their loops as if
+    /// they had died, then blocks until they are gone. Returns the number of
+    /// workers still alive. Robustness tests drive this to prove that
+    /// launches keep completing (degraded, launcher-only in the limit) after
+    /// worker death instead of hanging the completion barrier.
+    pub(crate) fn kill_workers(&self, n: usize) -> usize {
+        let target = {
+            let mut st = self.shared.lock();
+            let n = n.min(st.alive);
+            st.die_requests += n;
+            st.alive - n
+        };
+        self.shared.work_ready.notify_all();
+        loop {
+            let st = self.shared.lock();
+            if st.alive <= target {
+                return st.alive;
+            }
+            drop(st);
+            std::thread::yield_now();
+        }
+    }
 }
 
 impl Drop for Pool {
@@ -196,16 +233,55 @@ impl Drop for Pool {
 }
 
 fn worker_loop(shared: &Shared) {
+    /// Balances the pool's books however the worker thread exits — orderly
+    /// shutdown, a kill request, or an unwind that escapes the per-job
+    /// `catch_unwind` (e.g. a panicking payload drop). Without it, a dying
+    /// worker would leave `alive` overstated and could strand the launcher
+    /// at the completion barrier forever.
+    struct Sentinel<'a> {
+        shared: &'a Shared,
+        /// True between claiming a start and completing its bookkeeping:
+        /// the window where dying means an `active` slot leaks.
+        claimed: std::cell::Cell<bool>,
+    }
+    impl Drop for Sentinel<'_> {
+        fn drop(&mut self) {
+            let mut st = self.shared.lock();
+            st.alive -= 1;
+            if self.claimed.get() {
+                st.active -= 1;
+                if st.panic.is_none() {
+                    st.panic = Some(Box::new("pool worker died mid-job"));
+                }
+            }
+            // Starts no living worker will ever claim must not strand the
+            // launcher; the launching thread already ran the job itself.
+            if st.alive == 0 {
+                st.remaining_starts = 0;
+            }
+            self.shared.work_done.notify_one();
+        }
+    }
+
+    let sentinel = Sentinel {
+        shared,
+        claimed: std::cell::Cell::new(false),
+    };
     loop {
         let job = {
             let mut st = shared.lock();
             loop {
                 if st.shutdown {
-                    return;
+                    return; // sentinel balances `alive`
+                }
+                if st.die_requests > 0 {
+                    st.die_requests -= 1;
+                    return; // injected death; sentinel balances the books
                 }
                 if st.remaining_starts > 0 {
                     st.remaining_starts -= 1;
                     st.active += 1;
+                    sentinel.claimed.set(true);
                     break st.job.expect("job present while starts remain");
                 }
                 st = shared
@@ -217,6 +293,7 @@ fn worker_loop(shared: &Shared) {
         // The module invariant makes this call sound; see `ErasedJob`.
         let outcome = catch_unwind(AssertUnwindSafe(job));
         let mut st = shared.lock();
+        sentinel.claimed.set(false);
         if let Err(payload) = outcome {
             if st.panic.is_none() {
                 st.panic = Some(payload);
@@ -370,6 +447,41 @@ mod tests {
         };
         assert!(pool.try_run(100, &job));
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_survives_worker_death_and_keeps_launching() {
+        let pool = Pool::new(3);
+        let run = |extra: usize| {
+            let hits = AtomicUsize::new(0);
+            assert!(pool.try_run(extra, &|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+            hits.load(Ordering::Relaxed)
+        };
+        assert_eq!(run(3), 4); // launcher + 3 workers
+        // Two workers die: the completion barrier must not wait for them.
+        assert_eq!(pool.kill_workers(2), 1);
+        assert_eq!(run(3), 2); // launcher + the survivor
+        // The last worker dies: launcher-only execution, never a hang.
+        assert_eq!(pool.kill_workers(5), 0);
+        assert_eq!(run(3), 1);
+        assert_eq!(run(0), 1);
+    }
+
+    #[test]
+    fn pool_contains_panics_even_after_worker_death() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.kill_workers(1), 1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.try_run(2, &|| panic!("executor bug"));
+        }));
+        assert!(caught.is_err());
+        let hits = AtomicUsize::new(0);
+        assert!(pool.try_run(2, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub enum EventKind {
         /// Resident-block hops needed before a free slot was claimed.
         hops: u32,
     },
+    /// An ingress-broker admission decision or state transition.
+    Ingress {
+        /// Action tag (`"dispatch"`, `"shed_write"`, `"timeout"`,
+        /// `"breaker_open"`, `"breaker_half_open"`, `"breaker_close"`,
+        /// `"retry"`, …).
+        action: &'static str,
+        /// Submission-queue depth (queued + drained) observed when the
+        /// event fired.
+        depth: u32,
+    },
 }
 
 /// The warp id attached to launch-scope events, which no single warp owns.
@@ -103,6 +113,9 @@ impl TraceEvent {
             EventKind::Alloc { hops } => {
                 format!("{head},\"kind\":\"alloc\",\"hops\":{hops}}}")
             }
+            EventKind::Ingress { action, depth } => {
+                format!("{head},\"kind\":\"ingress\",\"action\":\"{action}\",\"depth\":{depth}}}")
+            }
         }
     }
 }
@@ -128,6 +141,10 @@ mod tests {
                 status: "inserted",
             },
             EventKind::Alloc { hops: 0 },
+            EventKind::Ingress {
+                action: "shed_write",
+                depth: 512,
+            },
         ];
         for (i, kind) in cases.into_iter().enumerate() {
             let line = TraceEvent {

@@ -172,6 +172,9 @@ pub struct Histograms {
     pub retries_per_op: LogHistogram,
     /// Resident-block hops the allocator made per successful allocation.
     pub resident_hops: LogHistogram,
+    /// Ingress submission-queue depth sampled at each broker batch
+    /// dispatch (empty unless an ingress broker fed this report).
+    pub queue_depth: LogHistogram,
 }
 
 impl Histograms {
@@ -184,11 +187,13 @@ impl Histograms {
             rounds_per_op,
             retries_per_op,
             resident_hops,
+            queue_depth,
         } = other;
         self.chain_slabs.merge(chain_slabs);
         self.rounds_per_op.merge(rounds_per_op);
         self.retries_per_op.merge(retries_per_op);
         self.resident_hops.merge(resident_hops);
+        self.queue_depth.merge(queue_depth);
     }
 }
 
@@ -246,11 +251,13 @@ mod tests {
         b.rounds_per_op.record(2);
         b.retries_per_op.record(3);
         b.resident_hops.record(4);
+        b.queue_depth.record(5);
         a.merge(&b);
         assert_eq!(a.chain_slabs.count(), 1);
         assert_eq!(a.rounds_per_op.sum(), 2);
         assert_eq!(a.retries_per_op.sum(), 3);
         assert_eq!(a.resident_hops.sum(), 4);
+        assert_eq!(a.queue_depth.sum(), 5);
     }
 
     #[test]

@@ -147,6 +147,11 @@ impl Trace {
                      \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"hops\":{hops}}}}}",
                     e.seq, e.warp
                 )),
+                EventKind::Ingress { action, depth } => entries.push(format!(
+                    "{{\"name\":\"{action}\",\"cat\":\"ingress\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"depth\":{depth}}}}}",
+                    e.seq, e.warp
+                )),
             }
         }
         format!("{{\"traceEvents\":[{}]}}", entries.join(","))

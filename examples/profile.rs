@@ -193,4 +193,44 @@ fn main() {
     assert_eq!(audit.frozen_lanes, 0);
     assert_eq!(audit.double_frees, 0);
     assert!(audit.no_leaks(), "maintenance must account for every slab");
+
+    // --- Ingress overload epilogue ------------------------------------------
+    // Also after `session.finish()` on purpose (the broker would otherwise
+    // emit ingress events into the reconciled trace). A deliberately
+    // overloaded broker — a shed watermark nothing can satisfy — shows the
+    // overload counters and the queue-depth histogram the ingress layer
+    // bills: writes shed, the breaker trips, reads still complete.
+    let service = std::sync::Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(64)));
+    let broker = slab_ingress::Broker::spawn(
+        std::sync::Arc::clone(&service),
+        slab_ingress::BrokerConfig {
+            write_shed_headroom: u64::MAX,
+            ..slab_ingress::BrokerConfig::default()
+        },
+    );
+    let client = broker.handle();
+    for k in 0..512u32 {
+        if k % 4 == 0 {
+            let _ = client.call(Request::search(k));
+        } else {
+            let _ = client.call(Request::replace(k, k));
+        }
+    }
+    drop(client);
+    let ingress = broker.shutdown();
+    println!(
+        "\ningress under forced overload: {} submitted, {} completed (reads), \
+         {} shed, {} timed out, {} breaker trips",
+        ingress.submitted,
+        ingress.completed,
+        ingress.shed(),
+        ingress.timed_out(),
+        ingress.breaker_trips(),
+    );
+    println!(
+        "{}",
+        ingress.histograms.queue_depth.render("submission queue depth at dispatch")
+    );
+    assert!(ingress.shed() > 0, "forced overload must shed writes");
+    assert!(ingress.completed > 0, "reads must survive write shedding");
 }

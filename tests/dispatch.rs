@@ -44,6 +44,46 @@ fn pooled_and_scoped_contain_panics_identically() {
 }
 
 #[test]
+fn pool_survives_dead_workers_without_hanging_launches() {
+    // A pool worker dying must not poison the pool or strand the completion
+    // barrier: launches keep completing on the survivors (launcher-only in
+    // the limit), and panic containment still works afterwards.
+    let grid = Grid::new(4);
+    let mut items = vec![0u32; 16 * 32];
+    grid.launch(&mut items, |_, _| {}); // warm the pool
+    assert_eq!(grid.debug_kill_pool_workers(2), 1);
+    let report = grid
+        .try_launch(&mut items, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        })
+        .expect("launch must complete on surviving workers");
+    assert_eq!(report.warps, 16);
+    assert!(items.iter().all(|&v| v == 1));
+    // Kernel panics are still contained, and the grid stays reusable.
+    let err = grid
+        .try_launch(&mut items, |ctx, _| {
+            if ctx.warp_id == 3 {
+                panic!("lane fault after worker death");
+            }
+        })
+        .expect_err("warp 3 must fail the launch");
+    assert_eq!(err.warp_id, 3);
+    // Every worker dead: the launching thread alone drains the grid.
+    assert_eq!(grid.debug_kill_pool_workers(8), 0);
+    let report = grid
+        .try_launch(&mut items, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        })
+        .expect("launcher-only execution must still complete");
+    assert_eq!(report.warps, 16);
+    assert!(items.iter().all(|&v| v == 2));
+}
+
+#[test]
 fn pool_inherits_chaos_enrollment_per_launch_and_sheds_it() {
     let grid = Grid::new(4);
     // Counts warps whose executor thread participates in fault injection.
