@@ -78,6 +78,18 @@ pub struct CircuitBreaker {
     probes_admitted: u32,
     probe_successes: u32,
     trips: u64,
+    /// Lifetime transitions *into* each state, indexed `Closed = 0`,
+    /// `HalfOpen = 1`, `Open = 2` (construction does not count as a
+    /// transition into `Closed`).
+    transitions: [u64; 3],
+}
+
+fn state_index(state: BreakerState) -> usize {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    }
 }
 
 impl CircuitBreaker {
@@ -100,6 +112,7 @@ impl CircuitBreaker {
             probes_admitted: 0,
             probe_successes: 0,
             trips: 0,
+            transitions: [0; 3],
         }
     }
 
@@ -114,6 +127,15 @@ impl CircuitBreaker {
         self.trips
     }
 
+    /// Lifetime transition counts *into* each state, indexed `Closed = 0`,
+    /// `HalfOpen = 1`, `Open = 2`. Counters, not a state sample: an
+    /// Open → HalfOpen → Open probe bounce that starts and ends between two
+    /// observations still shows up as one half-open and one open
+    /// transition here.
+    pub fn transitions(&self) -> [u64; 3] {
+        self.transitions
+    }
+
     /// Admission decision for one write. `false` means the write must be
     /// refused with a breaker error. May transition Open → HalfOpen when the
     /// cooldown has elapsed.
@@ -126,6 +148,7 @@ impl CircuitBreaker {
                     .is_none_or(|t| now.duration_since(t) >= self.cfg.cooldown);
                 if cooled {
                     self.state = BreakerState::HalfOpen;
+                    self.transitions[state_index(BreakerState::HalfOpen)] += 1;
                     self.probes_admitted = 1;
                     self.probe_successes = 0;
                     true
@@ -188,11 +211,13 @@ impl CircuitBreaker {
         self.state = BreakerState::Open;
         self.opened_at = Some(now);
         self.trips += 1;
+        self.transitions[state_index(BreakerState::Open)] += 1;
         self.clear_window();
     }
 
     fn close(&mut self) {
         self.state = BreakerState::Closed;
+        self.transitions[state_index(BreakerState::Closed)] += 1;
         self.opened_at = None;
         self.clear_window();
     }
@@ -268,6 +293,29 @@ mod tests {
         b.record(now, false);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn transition_counters_see_intra_observation_bounces() {
+        let mut b = breaker(Duration::ZERO);
+        let now = Instant::now();
+        assert_eq!(b.transitions(), [0, 0, 0], "construction is not a transition");
+        for _ in 0..4 {
+            b.record(now, false);
+        }
+        // Open -> HalfOpen -> Open bounce: a state sample before and after
+        // would read Open both times, but the counters record the probe leg.
+        assert!(b.admit_write(now));
+        b.record(now, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions(), [0, 1, 2]);
+        // A successful probe round closes: one more half-open, one closed.
+        assert!(b.admit_write(now));
+        assert!(b.admit_write(now));
+        b.record(now, true);
+        b.record(now, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions(), [1, 2, 2]);
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //! itself fills, and every refusal is a typed reply — clients always learn
 //! the fate of their request.
 
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use simt::telemetry::{EventKind, SessionHandle, LAUNCH_WARP};
+use simt::telemetry::{
+    EventKind, JsonlSnapshots, MetricsRegistry, MetricsServer, RequestSpan, SessionHandle,
+    SpanReport, Stage, LAUNCH_WARP,
+};
 use simt::{ChaosGuard, FaultPlan, Grid};
 use slab_alloc::SlabAllocator;
 use slab_hash::{
@@ -32,15 +38,17 @@ use slab_hash::{
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::client::{ClientHandle, Reply};
 use crate::error::IngressError;
+use crate::metrics::{breaker_state_code, IngressMetrics, MaintainReason};
 use crate::stats::IngressStats;
 
-/// One queued request: the operation, its deadline budget, and the channel
-/// its reply must be routed to.
+/// One queued request: the operation, its deadline budget, the channel its
+/// reply must be routed to, and the span tracking it through the pipeline.
 pub(crate) struct Envelope {
     pub(crate) req: Request,
     pub(crate) submitted: Instant,
     pub(crate) deadline: Instant,
     pub(crate) reply: mpsc::Sender<Reply>,
+    pub(crate) span: RequestSpan,
 }
 
 impl Envelope {
@@ -48,13 +56,23 @@ impl Envelope {
         self.deadline.duration_since(self.submitted)
     }
 
-    /// Answers the envelope and returns the broker-measured latency.
-    fn answer(self, result: Result<OpResult, IngressError>) -> Duration {
-        let latency = self.submitted.elapsed();
+    /// Answers the envelope and returns the closed span report so the
+    /// caller can bill it. The reply stage is marked and the end-to-end
+    /// latency measured from the *same* instant, so the report's stage sum
+    /// reconciles with `latency` exactly.
+    fn answer(mut self, result: Result<OpResult, IngressError>) -> SpanReport {
+        let now = Instant::now();
+        self.span.mark_at(Stage::Reply, now);
+        let span = self.span.report(now);
+        let latency = now.duration_since(self.submitted);
         // A client that dropped its ticket is not an error; the reply is
         // simply discarded.
-        let _ = self.reply.send(Reply { result, latency });
-        latency
+        let _ = self.reply.send(Reply {
+            result,
+            latency,
+            span,
+        });
+        span
     }
 }
 
@@ -140,6 +158,9 @@ pub struct Broker {
     thread: Option<thread::JoinHandle<IngressStats>>,
     queue_capacity: usize,
     default_deadline: Duration,
+    registry: Arc<MetricsRegistry>,
+    exporter: Option<MetricsServer>,
+    snapshots: Option<JsonlSnapshots>,
 }
 
 impl Broker {
@@ -160,12 +181,16 @@ impl Broker {
         let (tx, rx) = mpsc::sync_channel::<Envelope>(capacity);
         let depth = Arc::new(AtomicUsize::new(0));
         let depth_for_broker = Arc::clone(&depth);
+        let registry = Arc::new(MetricsRegistry::new());
+        let registry_for_broker = Arc::clone(&registry);
         // `current_session` is thread-local: capture here, on the spawning
         // thread, and move the handle into the broker.
         let session = simt::telemetry::current_session();
         let thread = thread::Builder::new()
             .name("slab-ingress-broker".into())
-            .spawn(move || run_broker(table, cfg, rx, depth_for_broker, session))
+            .spawn(move || {
+                run_broker(table, cfg, rx, depth_for_broker, session, registry_for_broker)
+            })
             .expect("spawn ingress broker thread");
         Self {
             tx: Some(tx),
@@ -173,7 +198,49 @@ impl Broker {
             thread: Some(thread),
             queue_capacity: capacity,
             default_deadline,
+            registry,
+            exporter: None,
+            snapshots: None,
         }
+    }
+
+    /// The broker's metrics registry: every counter, gauge, and stage
+    /// histogram the broker bills, live while it runs. Scrape directly with
+    /// [`MetricsRegistry::render_prometheus`], or serve it over HTTP with
+    /// [`with_metrics_addr`](Self::with_metrics_addr).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Opts in to the live metrics plane: binds `addr` (e.g.
+    /// `"127.0.0.1:9184"`, port 0 for ephemeral) and serves this broker's
+    /// registry as Prometheus text on `GET /metrics` from a background
+    /// thread. The exporter stops at [`shutdown`](Self::shutdown) (or drop).
+    pub fn with_metrics_addr(mut self, addr: &str) -> io::Result<Self> {
+        self.exporter = Some(MetricsServer::serve(addr, Arc::clone(&self.registry))?);
+        Ok(self)
+    }
+
+    /// The exporter's bound address, if
+    /// [`with_metrics_addr`](Self::with_metrics_addr) was used — the
+    /// address to curl.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// Opts in to periodic JSONL snapshots of the registry at `path`, one
+    /// line every `interval`, plus a final line at shutdown.
+    pub fn with_jsonl_snapshots(
+        mut self,
+        path: impl Into<PathBuf>,
+        interval: Duration,
+    ) -> io::Result<Self> {
+        self.snapshots = Some(JsonlSnapshots::start(
+            path,
+            Arc::clone(&self.registry),
+            interval,
+        )?);
+        Ok(self)
     }
 
     /// Mints a new client handle onto this broker's queue.
@@ -199,11 +266,21 @@ impl Broker {
     /// finish) before calling this.
     pub fn shutdown(mut self) -> IngressStats {
         self.tx.take();
-        self.thread
+        let stats = self
+            .thread
             .take()
             .expect("broker thread joined once")
             .join()
-            .expect("ingress broker thread panicked")
+            .expect("ingress broker thread panicked");
+        // Stop the snapshot writer after the broker has drained, so its
+        // final JSONL line captures the end-of-life registry state.
+        if let Some(snapshots) = self.snapshots.take() {
+            snapshots.shutdown();
+        }
+        if let Some(exporter) = self.exporter.take() {
+            exporter.shutdown();
+        }
+        stats
     }
 }
 
@@ -237,9 +314,12 @@ struct BrokerRun<L: EntryLayout, A: SlabAllocator> {
     cfg: BrokerConfig,
     grid: Grid,
     breaker: CircuitBreaker,
-    breaker_state: BreakerState,
+    /// Per-state transition counts already billed into metrics and the
+    /// trace, diffed against [`CircuitBreaker::transitions`].
+    breaker_billed: [u64; 3],
     session: Option<SessionHandle>,
     stats: IngressStats,
+    metrics: IngressMetrics,
     batch: BatchBuffer,
 }
 
@@ -249,6 +329,7 @@ fn run_broker<L, A>(
     rx: mpsc::Receiver<Envelope>,
     depth: Arc<AtomicUsize>,
     session: Option<SessionHandle>,
+    registry: Arc<MetricsRegistry>,
 ) -> IngressStats
 where
     L: EntryLayout,
@@ -262,8 +343,9 @@ where
     });
     let mut run = BrokerRun {
         breaker: CircuitBreaker::new(cfg.breaker),
-        breaker_state: BreakerState::Closed,
+        breaker_billed: [0; 3],
         batch: BatchBuffer::with_capacity(cfg.max_batch.max(1)),
+        metrics: IngressMetrics::register(&registry),
         table,
         cfg,
         grid,
@@ -271,6 +353,7 @@ where
         stats: IngressStats::default(),
     };
     let mut envelopes: Vec<Envelope> = Vec::with_capacity(run.cfg.max_batch.max(1));
+    run.refresh_gauges(0);
 
     loop {
         // Block (briefly) for the first envelope; Disconnected means every
@@ -284,6 +367,7 @@ where
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 run.idle_housekeeping();
+                run.refresh_gauges(depth.load(Ordering::Relaxed));
                 continue;
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -298,15 +382,24 @@ where
                 Err(_) => break,
             }
         }
+        // The coalesced cohort leaves the queue here: one shared timestamp
+        // closes every envelope's queue-wait stage.
+        let drained_at = Instant::now();
+        for env in &mut envelopes {
+            env.span.mark_at(Stage::QueueWait, drained_at);
+        }
         let backlog = depth.load(Ordering::Relaxed);
         run.stats.submitted += envelopes.len() as u64;
+        run.metrics.submitted.add(envelopes.len() as u64);
         run.stats
             .histograms
             .queue_depth
             .record((envelopes.len() + backlog) as u64);
         run.emit("dispatch", (envelopes.len() + backlog) as u32);
         run.process_batch(std::mem::take(&mut envelopes));
+        run.refresh_gauges(depth.load(Ordering::Relaxed));
     }
+    run.refresh_gauges(0);
     run.stats
 }
 
@@ -317,32 +410,77 @@ impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
         }
     }
 
+    /// Refreshes the live gauges: queue depth, allocator pressure, executor
+    /// pool, breaker state. Called once per broker cycle — gauges are
+    /// sampled, not billed, so scrape-time values are at most one idle tick
+    /// stale.
+    fn refresh_gauges(&self, queued: usize) {
+        let m = &self.metrics;
+        m.queue_depth.set(queued as u64);
+        let alloc = self.table.allocator();
+        m.alloc_free.set(alloc.free_slabs());
+        m.alloc_allocated.set(alloc.allocated_slabs());
+        m.alloc_capacity.set(alloc.capacity_slabs());
+        if let Some(pool) = self.grid.pool_stats() {
+            m.pool_workers_alive.set(pool.workers_alive as u64);
+            m.pool_launches.set(pool.launches);
+        }
+        m.breaker_state.set(breaker_state_code(self.breaker.state()));
+    }
+
+    /// Runs one maintenance pass and counts it against its trigger.
+    fn maintain(&mut self, reason: MaintainReason) {
+        self.table.maintain(&self.grid);
+        self.metrics.bill_maintenance(reason);
+    }
+
     /// Idle cycles are spent healing: if the allocator is inside the write
     /// shed watermark, run a maintenance pass so capacity recovers while no
     /// traffic is waiting.
     fn idle_housekeeping(&mut self) {
         if self.table.allocator().free_slabs() <= self.cfg.write_shed_headroom {
-            self.table.maintain(&self.grid);
+            self.maintain(MaintainReason::Idle);
         }
     }
 
-    /// Tracks breaker trips and state transitions into counters and trace
-    /// events after every point where the breaker may have moved.
+    /// Tracks breaker trips and state transitions into counters, metrics,
+    /// and trace events after every point where the breaker may have moved.
     fn note_breaker(&mut self) {
         let trips = self.breaker.trips();
         let billed = self.stats.counters.breaker_open;
         if trips > billed {
             self.stats.counters.breaker_open = trips;
+            self.metrics.breaker_open.add(trips - billed);
             self.emit("breaker_open", (trips - billed) as u32);
         }
-        let state = self.breaker.state();
-        if state != self.breaker_state {
+        // Transitions come from the breaker's own counters, not from
+        // sampling its state: a half-open probe that fails inside one batch
+        // bounces Open -> HalfOpen -> Open between two calls here, and a
+        // state sample would never see the half-open leg.
+        let seen = self.breaker.transitions();
+        for (i, state) in [
+            BreakerState::Closed,
+            BreakerState::HalfOpen,
+            BreakerState::Open,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let delta = seen[i] - self.breaker_billed[i];
+            if delta == 0 {
+                continue;
+            }
+            self.breaker_billed[i] = seen[i];
+            for _ in 0..delta {
+                self.metrics.bill_breaker_transition(state);
+            }
             match state {
-                BreakerState::HalfOpen => self.emit("breaker_half_open", 0),
-                BreakerState::Closed => self.emit("breaker_close", 0),
+                BreakerState::HalfOpen => self.emit("breaker_half_open", delta as u32),
+                BreakerState::Closed => self.emit("breaker_close", delta as u32),
+                // The trip itself was already emitted above as
+                // `breaker_open`, depth = new trips.
                 BreakerState::Open => {}
             }
-            self.breaker_state = state;
         }
     }
 
@@ -356,17 +494,21 @@ impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
         let mut healed = false;
         let mut pending: Vec<Envelope> = Vec::with_capacity(envelopes.len());
         self.batch.clear();
-        for env in envelopes {
+        for mut env in envelopes {
             if now >= env.deadline {
                 self.stats.counters.timed_out += 1;
+                self.metrics.timed_out.inc();
                 let budget = env.budget();
-                env.answer(Err(IngressError::DeadlineExceeded { budget }));
+                let span = env.answer(Err(IngressError::DeadlineExceeded { budget }));
+                self.metrics.bill_span(&span);
                 continue;
             }
             if is_write(env.req.op) {
                 if !self.breaker.admit_write(now) {
                     self.stats.counters.shed += 1;
-                    env.answer(Err(IngressError::BreakerOpen));
+                    self.metrics.shed.inc();
+                    let span = env.answer(Err(IngressError::BreakerOpen));
+                    self.metrics.bill_span(&span);
                     continue;
                 }
                 if shed_writes {
@@ -374,15 +516,18 @@ impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
                     // should learn from: sustained pressure trips it open
                     // and stops even the admission work.
                     self.stats.counters.shed += 1;
+                    self.metrics.shed.inc();
                     self.breaker.record(now, false);
                     if !healed {
-                        self.table.maintain(&self.grid);
+                        self.maintain(MaintainReason::Admission);
                         healed = true;
                     }
-                    env.answer(Err(IngressError::ShedWrite));
+                    let span = env.answer(Err(IngressError::ShedWrite));
+                    self.metrics.bill_span(&span);
                     continue;
                 }
             }
+            env.span.mark_at(Stage::Admission, now);
             self.batch.push(env.req.clone());
             pending.push(env);
         }
@@ -391,16 +536,31 @@ impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
         // --- Dispatch + bounded retry. ---
         let mut attempt = 0u32;
         while !pending.is_empty() {
+            // Two shared timestamps bracket the launch: dispatch (batch
+            // assembly + scheduling since admission) ends where execute
+            // begins. Retry rounds re-mark both, so marks stay monotone and
+            // a retried request's stages absorb every round it lived
+            // through.
+            let exec_start = Instant::now();
+            for env in &mut pending {
+                env.span.mark_at(Stage::Dispatch, exec_start);
+            }
             let report = if self.batch.len() >= self.cfg.partition_threshold {
                 self.table.execute_buffer_partitioned(&mut self.batch, &self.grid)
             } else {
                 self.table.execute_buffer(&mut self.batch, &self.grid)
             };
+            let exec_end = Instant::now();
+            for env in &mut pending {
+                env.span.mark_at(Stage::Execute, exec_end);
+            }
             self.stats.batches += 1;
+            self.metrics.batches.inc();
             self.stats.counters.merge(&report.counters);
             self.stats.histograms.merge(&report.histograms);
+            self.metrics.bill_batch(&report.counters);
 
-            let now = Instant::now();
+            let now = exec_end;
             let mut retry: Vec<(Envelope, TableError)> = Vec::new();
             for (req, env) in self.batch.requests().iter().zip(pending.drain(..)) {
                 let write = is_write(req.op);
@@ -418,33 +578,44 @@ impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
                                 self.breaker.record(now, false);
                             }
                             self.stats.counters.timed_out += 1;
+                            self.metrics.timed_out.inc();
                             let budget = env.budget();
-                            env.answer(Err(IngressError::DeadlineExceeded { budget }));
+                            let span =
+                                env.answer(Err(IngressError::DeadlineExceeded { budget }));
+                            self.metrics.bill_span(&span);
                         } else {
                             if write {
                                 self.breaker.record(now, false);
                             }
                             // Heal once so the *next* batch finds capacity,
-                            // mirroring the shed policy's contract.
+                            // mirroring the shed policy's contract. (Inlined
+                            // rather than via `Self::maintain`: the
+                            // enclosing loop holds a borrow of
+                            // `self.batch`.)
                             if !healed {
                                 self.table.maintain(&self.grid);
+                                self.metrics.bill_maintenance(MaintainReason::Dispatch);
                                 healed = true;
                             }
-                            env.answer(Err(IngressError::Table(err)));
+                            let span = env.answer(Err(IngressError::Table(err)));
+                            self.metrics.bill_span(&span);
                         }
                     }
                     OpResult::Failed(err) => {
                         if write {
                             self.breaker.record(now, false);
                         }
-                        env.answer(Err(IngressError::Table(err)));
+                        let span = env.answer(Err(IngressError::Table(err)));
+                        self.metrics.bill_span(&span);
                     }
                     ref result => {
                         if write {
                             self.breaker.record(now, true);
                         }
                         self.stats.completed += 1;
-                        env.answer(Ok(result.clone()));
+                        self.metrics.completed.inc();
+                        let span = env.answer(Ok(result.clone()));
+                        self.metrics.bill_span(&span);
                     }
                 }
             }
@@ -464,12 +635,15 @@ impl<L: EntryLayout, A: SlabAllocator> BrokerRun<L, A> {
                     if is_write(env.req.op) {
                         self.breaker.record(now, false);
                     }
-                    env.answer(Err(IngressError::Table(err)));
+                    let span = env.answer(Err(IngressError::Table(err)));
+                    self.metrics.bill_span(&span);
                 }
                 self.note_breaker();
                 break;
             }
+            self.metrics.bill_maintenance(MaintainReason::Recover);
             self.stats.retried += retry.len() as u64;
+            self.metrics.retried.add(retry.len() as u64);
             self.emit("retry", retry.len() as u32);
             self.batch.clear();
             for (env, _) in retry {

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use simt::telemetry::{RequestSpan, SpanReport};
 use slab_hash::{Backoff, OpKind, OpResult, Request};
 
 use crate::broker::Envelope;
@@ -30,6 +31,11 @@ pub struct Reply {
     pub result: Result<OpResult, IngressError>,
     /// Submission-to-disposition latency, measured broker-side.
     pub latency: Duration,
+    /// Per-stage latency decomposition for this request: the span minted at
+    /// submission, marked at every pipeline stage the request reached, and
+    /// closed at reply. Consecutive stage durations telescope, so
+    /// [`SpanReport::stage_sum_ns`] equals `total_ns` exactly.
+    pub span: SpanReport,
 }
 
 impl Reply {
@@ -37,6 +43,7 @@ impl Reply {
         Reply {
             result: Err(IngressError::BrokerGone),
             latency: Duration::ZERO,
+            span: SpanReport::none(),
         }
     }
 }
@@ -141,7 +148,10 @@ impl ClientHandle {
         if req.op == OpKind::None {
             return Err(IngressError::EmptyRequest);
         }
-        let submitted = Instant::now();
+        // The span is minted here, at submission: its correlation id and
+        // submit timestamp ride the envelope through the whole pipeline.
+        let span = RequestSpan::begin();
+        let submitted = span.submitted();
         let (reply_tx, reply_rx) = mpsc::channel();
         Ok((
             Envelope {
@@ -149,6 +159,7 @@ impl ClientHandle {
                 submitted,
                 deadline: submitted + budget,
                 reply: reply_tx,
+                span,
             },
             reply_rx,
         ))

@@ -53,6 +53,7 @@ mod breaker;
 mod broker;
 mod client;
 mod error;
+mod metrics;
 mod stats;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -60,6 +61,10 @@ pub use broker::{Broker, BrokerConfig};
 pub use client::{ClientHandle, Reply, Ticket};
 pub use error::IngressError;
 pub use stats::{IngressStats, LatencyRecorder, LatencySummary};
+
+// The span/metrics vocabulary clients need to consume `Reply::span` and a
+// broker's registry without naming the telemetry crate themselves.
+pub use simt::telemetry::{MetricsRegistry, RequestSpan, SpanReport, Stage, STAGES, STAGE_COUNT};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,232 @@
+//! The broker's live metric surface: every ad-hoc counter the ingress path
+//! keeps, registered against a scrapable
+//! [`MetricsRegistry`](telemetry::MetricsRegistry).
+//!
+//! Handles are pre-registered once at broker spawn so the hot path never
+//! takes the registry lock: billing a request is a handful of relaxed
+//! atomic adds. Naming follows Prometheus conventions — `_total` suffixes
+//! on counters, base units (seconds) in histogram names, labels for
+//! low-cardinality dimensions (span stage, breaker state, maintenance
+//! trigger).
+
+use std::sync::Arc;
+
+use simt::telemetry::{
+    Counter, GaugeMetric, HistogramMetric, MetricsRegistry, SpanReport, STAGES, STAGE_COUNT,
+};
+use simt::PerfCounters;
+
+use crate::breaker::BreakerState;
+
+/// Why the broker ran a maintenance pass (the label on
+/// `slab_ingress_maintenance_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MaintainReason {
+    /// Idle housekeeping while the queue was empty and headroom was low.
+    Idle = 0,
+    /// Healing triggered by the admission pass shedding a write.
+    Admission = 1,
+    /// Healing after a non-retryable failure in the dispatch loop.
+    Dispatch = 2,
+    /// The table's own policy-driven recovery between dispatch rounds.
+    Recover = 3,
+}
+
+const MAINTAIN_REASONS: [(&str, MaintainReason); 4] = [
+    ("idle", MaintainReason::Idle),
+    ("admission", MaintainReason::Admission),
+    ("dispatch", MaintainReason::Dispatch),
+    ("recover", MaintainReason::Recover),
+];
+
+/// Encodes a breaker state as the `slab_ingress_breaker_state` gauge value.
+pub(crate) fn breaker_state_code(state: BreakerState) -> u64 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    }
+}
+
+/// Pre-registered handles for every metric the broker bills.
+#[derive(Debug)]
+pub(crate) struct IngressMetrics {
+    /// Requests drained off the submission queue.
+    pub submitted: Counter,
+    /// Requests answered with a table result.
+    pub completed: Counter,
+    /// Requests refused by admission control (shed/breaker/queue pressure).
+    pub shed: Counter,
+    /// Requests answered with a deadline timeout.
+    pub timed_out: Counter,
+    /// Requests re-dispatched after a retryable failure.
+    pub retried: Counter,
+    /// Batches dispatched onto the grid.
+    pub batches: Counter,
+    /// Breaker trips (transitions into Open).
+    pub breaker_open: Counter,
+    /// Breaker state transitions, labeled `state="open|half_open|closed"`.
+    pub breaker_transitions: [Counter; 3],
+    /// Maintenance passes, labeled by trigger.
+    maintenance: [Counter; 4],
+    /// Live submission-queue depth.
+    pub queue_depth: GaugeMetric,
+    /// Breaker state as a code: 0 closed, 1 half-open, 2 open.
+    pub breaker_state: GaugeMetric,
+    /// Allocator free-slab headroom.
+    pub alloc_free: GaugeMetric,
+    /// Allocator slabs currently allocated.
+    pub alloc_allocated: GaugeMetric,
+    /// Allocator capacity in slabs (moves when the allocator grows).
+    pub alloc_capacity: GaugeMetric,
+    /// Executor-pool workers still alive.
+    pub pool_workers_alive: GaugeMetric,
+    /// Pooled launches run by the grid's executor pool.
+    pub pool_launches: GaugeMetric,
+    /// Table operations retired through broker-dispatched batches.
+    pub table_ops: Counter,
+    /// CAS retries charged to broker-dispatched batches.
+    pub table_cas_failures: Counter,
+    /// Allocations served to broker-dispatched batches.
+    pub table_allocations: Counter,
+    /// Per-stage request latency, labeled `stage=...`; recorded in
+    /// nanoseconds, exported in seconds.
+    pub stage_seconds: [HistogramMetric; STAGE_COUNT],
+}
+
+impl IngressMetrics {
+    /// Registers every broker metric against `registry` and returns the
+    /// handle bundle. Idempotent per registry: a second broker sharing the
+    /// registry shares the cells.
+    pub(crate) fn register(registry: &Arc<MetricsRegistry>) -> Self {
+        let stage_seconds = STAGES.map(|stage| {
+            registry.histogram_with(
+                "slab_ingress_stage_seconds",
+                "Per-stage request latency decomposition (queue-wait, admission, \
+                 dispatch, execute, reply)",
+                &[("stage", stage.name())],
+                1e-9,
+            )
+        });
+        let breaker_transitions = ["open", "half_open", "closed"].map(|state| {
+            registry.counter_with(
+                "slab_ingress_breaker_transitions_total",
+                "Circuit-breaker state transitions",
+                &[("state", state)],
+            )
+        });
+        let maintenance = MAINTAIN_REASONS.map(|(reason, _)| {
+            registry.counter_with(
+                "slab_ingress_maintenance_total",
+                "Maintenance passes the broker triggered, by trigger",
+                &[("reason", reason)],
+            )
+        });
+        Self {
+            submitted: registry.counter(
+                "slab_ingress_submitted_total",
+                "Requests drained off the submission queue",
+            ),
+            completed: registry.counter(
+                "slab_ingress_completed_total",
+                "Requests answered with a table result",
+            ),
+            shed: registry.counter(
+                "slab_ingress_shed_total",
+                "Requests refused by admission control",
+            ),
+            timed_out: registry.counter(
+                "slab_ingress_timed_out_total",
+                "Requests that exceeded their deadline budget",
+            ),
+            retried: registry.counter(
+                "slab_ingress_retried_total",
+                "Requests re-dispatched after a retryable failure",
+            ),
+            batches: registry.counter(
+                "slab_ingress_batches_total",
+                "Coalesced batches dispatched onto the grid",
+            ),
+            breaker_open: registry.counter(
+                "slab_ingress_breaker_open_total",
+                "Circuit-breaker trips (sustained-failure episodes)",
+            ),
+            breaker_transitions,
+            maintenance,
+            queue_depth: registry.gauge(
+                "slab_ingress_queue_depth",
+                "Requests sitting in the bounded submission queue right now",
+            ),
+            breaker_state: registry.gauge(
+                "slab_ingress_breaker_state",
+                "Circuit-breaker state: 0 closed, 1 half-open, 2 open",
+            ),
+            alloc_free: registry.gauge(
+                "slab_alloc_free_slabs",
+                "Allocator free-slab headroom (the write-shed signal)",
+            ),
+            alloc_allocated: registry.gauge(
+                "slab_alloc_allocated_slabs",
+                "Slabs currently allocated",
+            ),
+            alloc_capacity: registry.gauge(
+                "slab_alloc_capacity_slabs",
+                "Allocator capacity in slabs (grows under pressure)",
+            ),
+            pool_workers_alive: registry.gauge(
+                "slab_pool_workers_alive",
+                "Executor-pool worker threads alive",
+            ),
+            pool_launches: registry.gauge(
+                "slab_pool_launches",
+                "Pooled launches run by the executor pool (lifetime)",
+            ),
+            table_ops: registry.counter(
+                "slab_table_ops_total",
+                "Table operations retired through broker batches",
+            ),
+            table_cas_failures: registry.counter(
+                "slab_table_cas_failures_total",
+                "CAS retries charged to broker batches",
+            ),
+            table_allocations: registry.counter(
+                "slab_table_allocations_total",
+                "Slab allocations served to broker batches",
+            ),
+            stage_seconds,
+        }
+    }
+
+    /// Bills one finished request's span: every *reached* stage records its
+    /// nanoseconds; unreached stages are skipped, not recorded as zeros.
+    pub(crate) fn bill_span(&self, span: &SpanReport) {
+        for (i, hist) in self.stage_seconds.iter().enumerate() {
+            if span.marked[i] {
+                hist.record(span.stage_ns[i]);
+            }
+        }
+    }
+
+    /// Bills the kernel-side counters of one dispatched batch.
+    pub(crate) fn bill_batch(&self, counters: &PerfCounters) {
+        self.table_ops.add(counters.ops);
+        self.table_cas_failures.add(counters.cas_failures);
+        self.table_allocations.add(counters.allocations);
+    }
+
+    /// Counts one maintenance pass against its trigger.
+    pub(crate) fn bill_maintenance(&self, reason: MaintainReason) {
+        self.maintenance[reason as usize].inc();
+    }
+
+    /// Counts one breaker transition into `state` (also refreshed as the
+    /// state gauge by the broker loop).
+    pub(crate) fn bill_breaker_transition(&self, state: BreakerState) {
+        let idx = match state {
+            BreakerState::Open => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Closed => 2,
+        };
+        self.breaker_transitions[idx].inc();
+    }
+}

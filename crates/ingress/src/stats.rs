@@ -24,6 +24,23 @@ impl LatencyRecorder {
         self.samples_us.push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Records one sample in the caller's own unit (e.g. nanoseconds from a
+    /// [`SpanReport`](crate::SpanReport) stage). The summary's percentile
+    /// fields then carry that unit — the `_us` names assume
+    /// [`record`](Self::record).
+    pub fn record_raw(&mut self, sample: u64) {
+        self.samples_us.push(sample);
+    }
+
+    /// Mean of the recorded samples, in the recorded unit. Zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples_us.iter().map(|&s| u128::from(s)).sum();
+        sum as f64 / self.samples_us.len() as f64
+    }
+
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.samples_us.extend_from_slice(&other.samples_us);

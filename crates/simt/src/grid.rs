@@ -267,6 +267,16 @@ impl Grid {
         self.dispatch
     }
 
+    /// Live executor-pool statistics, for the metrics plane. `None` on
+    /// scoped grids and on pooled grids that have not launched yet (the
+    /// pool spawns lazily on first launch).
+    pub fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        match self.dispatch {
+            Dispatch::Scoped => None,
+            Dispatch::Pooled => self.pool.get().map(Pool::stats),
+        }
+    }
+
     /// Fault-injection hook for robustness tests: makes up to `n` of the
     /// grid's pool workers exit as if they had died (starting the pool if it
     /// has not launched yet), blocks until they are gone, and returns the

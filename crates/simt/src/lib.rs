@@ -58,6 +58,7 @@ pub use chaos::{disable_chaos, set_chaos, ChaosGuard, FaultPlan};
 pub use counters::PerfCounters;
 pub use epoch::{EpochClock, EpochPin};
 pub use grid::{Dispatch, Grid, LaunchError, LaunchReport, WarpCtx};
+pub use pool::PoolStats;
 pub use memory::{pack_pair, unpack_pair, SlabStorage, SLAB_BYTES, WORDS_PER_SLAB};
 pub use model::{GpuEstimate, GpuModel, ResourceBreakdown};
 pub use warp::{ballot, ballot_eq, ffs, lanes_below, popc, shfl, Lane, WARP_SIZE};

@@ -106,6 +106,20 @@ pub(crate) struct Pool {
     /// scoped fallback instead of queueing behind the pool.
     launching: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
+    /// Launches the pool has run (lifetime total, for the metrics plane).
+    launches: std::sync::atomic::AtomicU64,
+}
+
+/// A live snapshot of the executor pool for the metrics plane: how many
+/// workers are parked and breathing, and how many launches they have run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Executor threads spawned for this pool (fixed at creation).
+    pub workers_spawned: usize,
+    /// Executor threads currently alive (drops when chaos kills workers).
+    pub workers_alive: usize,
+    /// Pooled launches run since the pool was created.
+    pub launches: u64,
 }
 
 impl Pool {
@@ -137,6 +151,16 @@ impl Pool {
             shared,
             launching: Mutex::new(()),
             workers,
+            launches: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Point-in-time pool statistics (see [`PoolStats`]).
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers_spawned: self.workers.len(),
+            workers_alive: self.shared.lock().alive,
+            launches: self.launches.load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -195,6 +219,8 @@ impl Pool {
         if let Some(payload) = worker_panic {
             resume_unwind(payload);
         }
+        self.launches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         true
     }
 

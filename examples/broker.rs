@@ -7,12 +7,30 @@
 //! hang.
 //!
 //! Run with: `cargo run --release --example broker`
+//!
+//! Pass `--metrics <addr>` (e.g. `--metrics 127.0.0.1:9184`) to serve the
+//! overloaded broker's live metrics plane as Prometheus text — then
+//! `curl http://<addr>/metrics` while it runs. `--hold-ms <ms>` keeps the
+//! overloaded broker (and its exporter) alive that long before shutdown so
+//! an external scraper has a window.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use slab_hash::{KeyValue, MaintenancePolicy, Request, SlabHash, SlabHashConfig};
 use slab_ingress::{Broker, BrokerConfig, IngressError};
+
+/// Minimal flag scan (the examples avoid depending on the bench crate's
+/// parser): returns the value following `--<name>`, if any.
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
 
 fn main() {
     // --- Normal service ----------------------------------------------------
@@ -61,7 +79,7 @@ fn main() {
     // A shed watermark nothing satisfies simulates an allocator that cannot
     // keep up: the broker sheds writes (typed, immediately), keeps serving
     // reads, and trips the breaker once the failure rate is sustained.
-    let overloaded = Broker::spawn(
+    let mut overloaded = Broker::spawn(
         Arc::clone(&table),
         BrokerConfig {
             write_shed_headroom: u64::MAX,
@@ -69,6 +87,14 @@ fn main() {
             ..BrokerConfig::default()
         },
     );
+    // Opt in to the live metrics plane: Prometheus text on GET /metrics.
+    if let Some(addr) = arg_value("metrics") {
+        overloaded = overloaded
+            .with_metrics_addr(&addr)
+            .expect("bind metrics exporter");
+        let bound = overloaded.metrics_addr().expect("exporter bound");
+        println!("metrics exporter live: curl http://{bound}/metrics");
+    }
     let client = overloaded.handle();
     let (mut shed, mut breaker_open, mut reads_ok) = (0u32, 0u32, 0u32);
     for k in 0..256u32 {
@@ -88,6 +114,26 @@ fn main() {
     assert_eq!(reads_ok, 256, "reads must keep flowing while writes shed");
 
     drop(client);
+
+    // With the exporter up, show a scrape of the overload in progress —
+    // the same text `curl` would fetch.
+    if let Some(addr) = overloaded.metrics_addr() {
+        let body = simt::telemetry::scrape_text(addr).expect("self-scrape");
+        let interesting = ["slab_ingress_queue_depth", "slab_ingress_shed_total",
+            "slab_ingress_breaker_state", "slab_ingress_breaker_open_total"];
+        println!("-- scrape of http://{addr}/metrics --");
+        for line in body.lines() {
+            if interesting.iter().any(|m| line.starts_with(m)) {
+                println!("{line}");
+            }
+        }
+        let hold: u64 = arg_value("hold-ms").and_then(|v| v.parse().ok()).unwrap_or(0);
+        if hold > 0 {
+            println!("holding exporter open for {hold} ms...");
+            std::thread::sleep(Duration::from_millis(hold));
+        }
+    }
+
     let stats = overloaded.shutdown();
     println!(
         "overload stats: {} shed, {} breaker trips — and the table is untouched: {} keys",

@@ -6,6 +6,11 @@
 //! Run with: `cargo run --release --example profile [output-dir]`
 //! (default output dir: `target/profile`). Load the written `trace.json`
 //! at chrome://tracing or <https://ui.perfetto.dev>.
+//!
+//! Pass `--metrics <addr>` to serve the ingress epilogue's live metrics
+//! plane as Prometheus text while it runs — then
+//! `curl http://<addr>/metrics` for queue depth, shed totals, breaker
+//! state, and the per-stage latency histograms.
 
 use std::path::PathBuf;
 
@@ -53,10 +58,17 @@ impl Zipf {
 }
 
 fn main() {
-    let out: PathBuf = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/profile"));
+    // Positional output dir plus the opt-in `--metrics <addr>` flag.
+    let mut out = PathBuf::from("target/profile");
+    let mut metrics_addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            metrics_addr = args.next();
+        } else if !a.starts_with("--") {
+            out = PathBuf::from(a);
+        }
+    }
     std::fs::create_dir_all(&out).expect("create output dir");
 
     // --- The workload: Zipf-skewed updates, then Zipf-skewed searches ------
@@ -201,13 +213,18 @@ fn main() {
     // overload counters and the queue-depth histogram the ingress layer
     // bills: writes shed, the breaker trips, reads still complete.
     let service = std::sync::Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(64)));
-    let broker = slab_ingress::Broker::spawn(
+    let mut broker = slab_ingress::Broker::spawn(
         std::sync::Arc::clone(&service),
         slab_ingress::BrokerConfig {
             write_shed_headroom: u64::MAX,
             ..slab_ingress::BrokerConfig::default()
         },
     );
+    if let Some(addr) = &metrics_addr {
+        broker = broker.with_metrics_addr(addr).expect("bind metrics exporter");
+        let bound = broker.metrics_addr().expect("exporter bound");
+        println!("\nmetrics exporter live: curl http://{bound}/metrics");
+    }
     let client = broker.handle();
     for k in 0..512u32 {
         if k % 4 == 0 {
@@ -217,6 +234,17 @@ fn main() {
         }
     }
     drop(client);
+    if let Some(addr) = broker.metrics_addr() {
+        let body = simt::telemetry::scrape_text(addr).expect("self-scrape");
+        println!("-- scrape excerpt of http://{addr}/metrics --");
+        for line in body.lines().filter(|l| {
+            l.starts_with("slab_ingress_shed_total")
+                || l.starts_with("slab_ingress_breaker_state")
+                || l.starts_with("slab_ingress_stage_seconds_count")
+        }) {
+            println!("{line}");
+        }
+    }
     let ingress = broker.shutdown();
     println!(
         "\ningress under forced overload: {} submitted, {} completed (reads), \

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Bench regression gate: diff a freshly produced BENCH_*.json against the
+# committed baseline and fail on regressions of the headline metrics.
+#
+# Usage: scripts/bench_gate.sh <baseline.json> <fresh.json> [tolerance_pct]
+#
+# Headline metrics are every numeric field whose name is `throughput_ops_s`
+# or ends in `_mops` (higher is better). A fresh value more than
+# `tolerance_pct` percent BELOW its baseline fails the gate; improvements
+# and new metrics never fail. Tolerance defaults to 15 (percent) and can
+# also be set via BENCH_GATE_TOLERANCE_PCT.
+#
+# Exit codes: 0 pass, 1 regression, 2 usage/parse error.
+
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <baseline.json> <fresh.json> [tolerance_pct]" >&2
+    exit 2
+fi
+baseline=$1
+fresh=$2
+tolerance=${3:-${BENCH_GATE_TOLERANCE_PCT:-15}}
+
+for f in "$baseline" "$fresh"; do
+    if [ ! -r "$f" ]; then
+        echo "bench gate: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# Emit "dotted.path value" lines for every headline metric in a file.
+headlines() {
+    jq -r '
+        paths(type == "number") as $p
+        | select(($p[-1] | tostring) | test("^(throughput_ops_s|[a-z_]+_mops)$"))
+        | [($p | map(tostring) | join(".")), (getpath($p) | tostring)]
+        | join(" ")
+    ' "$1"
+}
+
+status=0
+count=0
+while read -r path base; do
+    fresh_val=$(jq -r --arg p "$path" 'getpath($p | split(".")) // "missing"' "$fresh")
+    if [ "$fresh_val" = "missing" ] || [ "$fresh_val" = "null" ]; then
+        echo "bench gate: SKIP $path (absent from fresh run)"
+        continue
+    fi
+    count=$((count + 1))
+    # Regression percent (positive = fresh is slower than baseline).
+    verdict=$(awk -v b="$base" -v f="$fresh_val" -v tol="$tolerance" 'BEGIN {
+        if (b <= 0) { print "ok 0.0"; exit }
+        reg = (b - f) / b * 100.0
+        print (reg > tol ? "fail" : "ok"), sprintf("%.1f", reg)
+    }')
+    reg_pct=${verdict#* }
+    if [ "${verdict%% *}" = "fail" ]; then
+        echo "bench gate: FAIL $path: baseline $base -> fresh $fresh_val (${reg_pct}% regression > ${tolerance}%)"
+        status=1
+    else
+        echo "bench gate: ok   $path: baseline $base -> fresh $fresh_val (${reg_pct}% regression)"
+    fi
+done < <(headlines "$baseline")
+
+if [ "$count" -eq 0 ]; then
+    echo "bench gate: no headline metrics found in $baseline" >&2
+    exit 2
+fi
+echo "bench gate: $count metrics checked against $baseline (tolerance ${tolerance}%), status $status"
+exit "$status"
