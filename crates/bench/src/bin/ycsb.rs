@@ -6,9 +6,14 @@
 //! * `closed_loop` — C client threads in a call/await loop (each client has
 //!   at most one request in flight). This measures the broker's sustainable
 //!   service rate; its throughput seeds the open-loop rates.
-//! * `open_loop` — requests submitted on a fixed schedule at ~50 % of the
-//!   measured sustainable rate, latencies broker-stamped (no coordinated
-//!   omission: the schedule does not slow down when the broker does).
+//! * `open_loop` — requests submitted on a fixed schedule below saturation,
+//!   latencies broker-stamped (no coordinated omission: the schedule does
+//!   not slow down when the broker does). The offered rate is derived from
+//!   a *measured knee*: short probe runs walk up fractions of the
+//!   closed-loop rate until the pacer stops running clean (sheds, timeouts,
+//!   or a blown p99), and the section runs at the last clean rate times a
+//!   safety margin. The probe ladder and chosen rate are recorded in the
+//!   output under `rate_probe`.
 //! * `open_loop_overload` — the same schedule at ~3x sustainable. The point
 //!   is not throughput but *behavior*: admitted requests keep bounded
 //!   latency while the surplus is answered with typed shed/timeout errors.
@@ -22,9 +27,9 @@
 //!
 //! Flags: `--quick` (CI sizes), `--clients C` (default 8, quick 4),
 //! `--duration-ms D` per section (default 2000, quick 400),
-//! `--read PCT` (default 90), `--rate R` (override open-loop base rate),
-//! `--chaos` (inject CAS failures + yields into broker dispatches),
-//! `--out <path>` (default `BENCH_7.json`).
+//! `--read PCT` (default 90), `--rate R` (override the open-loop base rate,
+//! skipping the knee probe), `--chaos` (inject CAS failures + yields into
+//! broker dispatches), `--out <path>` (default `BENCH_7.json`).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -313,6 +318,100 @@ fn open_loop(
     stats
 }
 
+/// The knee-probe record: which fractions of the closed-loop rate ran
+/// clean, and the below-saturation rate chosen from them.
+struct RateProbe {
+    /// Fractions of the closed-loop rate probed, in ladder order.
+    fractions: Vec<f64>,
+    /// Whether each probe ran clean (no sheds/timeouts/errors, bounded
+    /// p99). The ladder stops at the first dirty rung.
+    clean: Vec<bool>,
+    /// Highest offered rate that ran clean (ops/s).
+    knee_ops_s: f64,
+    /// Safety margin applied to the knee for the measured section.
+    margin: f64,
+    /// The open-loop section's offered rate: knee × margin (ops/s).
+    chosen_ops_s: f64,
+}
+
+impl RateProbe {
+    fn json(&self) -> String {
+        let fr: Vec<String> = self.fractions.iter().map(|f| format!("{f}")).collect();
+        let cl: Vec<String> = self.clean.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"source\": \"probe\", \"fractions\": [{}], \"clean\": [{}], \
+             \"knee_ops_s\": {:.0}, \"margin\": {}, \"chosen_ops_s\": {:.0}}}",
+            fr.join(", "),
+            cl.join(", "),
+            self.knee_ops_s,
+            self.margin,
+            self.chosen_ops_s,
+        )
+    }
+}
+
+/// Walks short open-loop probes up a ladder of fractions of the measured
+/// closed-loop rate and returns the knee: the highest offered rate the
+/// paced submitter sustains *clean* — every submission admitted and
+/// completed, p99 within a quarter of the deadline budget. The section
+/// then runs at the knee times a safety margin, replacing the hard-coded
+/// guess (an eighth of closed-loop) that tracked neither host width nor
+/// chaos mode.
+fn probe_knee(
+    table: &Arc<SlabHash<KeyValue>>,
+    sustainable: f64,
+    duration: Duration,
+    keyspace: u32,
+    read_pct: u32,
+    chaos: bool,
+) -> RateProbe {
+    const LADDER: [f64; 5] = [0.0625, 0.125, 0.25, 0.375, 0.5];
+    const MARGIN: f64 = 0.8;
+    // A probe only needs enough requests to surface queue build-up; a
+    // quarter section (floored for --quick) keeps the ladder affordable.
+    let probe_duration = (duration / 4).max(Duration::from_millis(150));
+    // "Clean" means the latency tail never approached the deadline: p99
+    // within a quarter of the 100 ms budget the sections run with.
+    let p99_bound_us = Duration::from_millis(100).as_micros() as u64 / 4;
+    let mut fractions = Vec::new();
+    let mut clean = Vec::new();
+    let mut knee = sustainable * LADDER[0];
+    for &fraction in &LADDER {
+        let rate = sustainable * fraction;
+        let stats = open_loop(table, rate, probe_duration, keyspace, read_pct, chaos);
+        let p99_us = stats.latency.summary().p99_us;
+        let ok = stats.shed == 0
+            && stats.timed_out == 0
+            && stats.errors == 0
+            && stats.completed == stats.attempted
+            && p99_us <= p99_bound_us;
+        println!(
+            "  probe @{rate:.0}/s ({:.0}% of closed): p99 {p99_us} us, \
+             {}/{} completed, {} shed, {} timed out -> {}",
+            fraction * 100.0,
+            stats.completed,
+            stats.attempted,
+            stats.shed,
+            stats.timed_out,
+            if ok { "clean" } else { "dirty" },
+        );
+        fractions.push(fraction);
+        clean.push(ok);
+        if ok {
+            knee = rate;
+        } else {
+            break;
+        }
+    }
+    RateProbe {
+        fractions,
+        clean,
+        knee_ops_s: knee,
+        margin: MARGIN,
+        chosen_ops_s: knee * MARGIN,
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
@@ -359,12 +458,24 @@ fn main() {
     // Closed-loop throughput over-estimates what a *paced* submitter can
     // sustain (the pacer thread contends for the same cores, and a paced
     // single submitter misses the coalescing that closed-loop clients get),
-    // so the below-saturation section runs well under it: a quarter of the
-    // closed-loop rate sits right at the paced knee and flips between clean
-    // and spiraling run to run, an eighth is reliably clean.
+    // so the below-saturation section runs under a *measured* knee: short
+    // probes walk up fractions of the closed-loop rate until the pacer
+    // stops running clean, instead of trusting a fixed fraction that is
+    // wrong on any host wider or narrower than the one it was tuned on.
     let sustainable = closed.throughput().max(1000.0);
-    let base_rate: f64 = args.value("rate").unwrap_or(sustainable * 0.125);
     let overload_rate = sustainable * 3.0;
+    let (base_rate, probe): (f64, Option<RateProbe>) = match args.value("rate") {
+        Some(rate) => (rate, None),
+        None => {
+            println!("probing the paced knee:");
+            let probe = probe_knee(&table, sustainable, duration, keyspace, read_pct, chaos);
+            println!(
+                "  knee {:.0} ops/s, running open loop at {:.0} ops/s ({}x margin)",
+                probe.knee_ops_s, probe.chosen_ops_s, probe.margin
+            );
+            (probe.chosen_ops_s, Some(probe))
+        }
+    };
 
     let open = open_loop(&table, base_rate, duration, keyspace, read_pct, chaos);
     println!(
@@ -395,11 +506,16 @@ fn main() {
          \"read_pct\": {read_pct},\n  \
          \"chaos\": {chaos},\n  \
          \"duration_ms\": {},\n  \
+         \"rate_probe\": {},\n  \
          \"closed_loop\": {},\n  \
          \"open_loop\": {},\n  \
          \"open_loop_overload\": {}\n\
          }}\n",
         duration.as_millis(),
+        probe.as_ref().map_or_else(
+            || format!("{{\"source\": \"flag\", \"chosen_ops_s\": {base_rate:.0}}}"),
+            RateProbe::json
+        ),
         closed.json(None),
         open.json(Some(base_rate)),
         overload.json(Some(overload_rate)),

@@ -4,8 +4,9 @@
 //! `Vec<Request>`, so batch-per-iteration loops (the concurrent benchmark,
 //! streaming ingest) measured allocator traffic as much as table
 //! throughput. A [`BatchBuffer`] owns its requests plus the scratch storage
-//! the bucket-partitioned execution path needs, so a loop that reuses one
-//! buffer allocates nothing after warm-up:
+//! the sharded execution path needs — bucket cache, shard segments, the
+//! per-shard claim plan — so a loop that reuses one buffer allocates
+//! nothing after warm-up:
 //!
 //! ```
 //! use simt::Grid;
@@ -21,24 +22,57 @@
 //! assert_eq!(table.len(), 1000);
 //! ```
 
-use simt::{Grid, LaunchReport};
+use simt::{Grid, LaunchReport, ShardPlan};
 use slab_alloc::SlabAllocator;
 
 use crate::entry::EntryLayout;
 use crate::hash_table::SlabHash;
 use crate::ops::Request;
 
+/// The scratch storage behind sharded (bucket-partitioned) execution,
+/// grouped so it can be reused across batches. Every buffer here retains
+/// its allocation across [`BatchBuffer::reset`] / [`BatchBuffer::clear`]
+/// and across executions, so steady-state partitioned loops are
+/// allocation-free after the first batch sizes them.
+#[derive(Debug, Default)]
+pub(crate) struct PartitionScratch {
+    /// Cached destination bucket per request. Filled by
+    /// [`BatchBuffer::push_with_bucket`] (the ingress broker pre-hashes at
+    /// admission) or recomputed by the execution path when the length does
+    /// not match the request count. A stale or wrong bucket only misroutes
+    /// the request to another shard — the kernel re-hashes internally, so
+    /// sharding is scheduling affinity, never correctness.
+    pub(crate) buckets: Vec<u32>,
+    /// Original index of the request now living in `scratch[i]`, for the
+    /// caller-order scatter-back.
+    pub(crate) order: Vec<u32>,
+    /// Requests permuted into shard-major order for execution.
+    pub(crate) scratch: Vec<Request>,
+    /// Per-shard element bounds (prefix sums, length `shards + 1`) during
+    /// planning; consumed as scatter cursors afterwards.
+    pub(crate) segments: Vec<usize>,
+    /// Reusable per-shard chunk-claim state for the sharded launch.
+    pub(crate) plan: ShardPlan,
+}
+
 /// An owned, reusable batch of requests plus the scratch buffers that
-/// bucket-partitioned execution uses. Reusing one buffer across batch
-/// executions keeps the steady-state loop allocation-free.
-#[derive(Debug, Clone, Default)]
+/// sharded (bucket-partitioned) execution uses. Reusing one buffer across
+/// batch executions keeps the steady-state loop allocation-free.
+#[derive(Debug, Default)]
 pub struct BatchBuffer {
     pub(crate) reqs: Vec<Request>,
-    /// Partition keys: `(bucket << 32) | original_index`, sorted to give the
-    /// bucket-ordered execution permutation.
-    pub(crate) order: Vec<u64>,
-    /// Requests permuted into bucket order for execution.
-    pub(crate) scratch: Vec<Request>,
+    pub(crate) parts: PartitionScratch,
+}
+
+impl Clone for BatchBuffer {
+    /// Clones the requests; the partition scratch is transient per-execution
+    /// state and starts empty in the clone (it re-sizes on first use).
+    fn clone(&self) -> Self {
+        Self {
+            reqs: self.reqs.clone(),
+            parts: PartitionScratch::default(),
+        }
+    }
 }
 
 impl BatchBuffer {
@@ -51,8 +85,7 @@ impl BatchBuffer {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             reqs: Vec::with_capacity(n),
-            order: Vec::new(),
-            scratch: Vec::new(),
+            parts: PartitionScratch::default(),
         }
     }
 
@@ -66,9 +99,20 @@ impl BatchBuffer {
         self.reqs.is_empty()
     }
 
-    /// Removes all requests, keeping every allocation for reuse.
+    /// Removes all requests, keeping every allocation — request storage,
+    /// bucket cache, partition scratch, shard plan — for reuse.
     pub fn clear(&mut self) {
         self.reqs.clear();
+        self.parts.buckets.clear();
+    }
+
+    /// Alias of [`clear`](Self::clear), named for the refill-and-execute
+    /// loop: resets the buffer to empty while provably retaining the
+    /// partition scratch sized by earlier executions (the
+    /// `steady_alloc` bench asserts the whole loop performs zero heap
+    /// allocations).
+    pub fn reset(&mut self) {
+        self.clear();
     }
 
     /// Appends one request.
@@ -76,8 +120,26 @@ impl BatchBuffer {
         self.reqs.push(req);
     }
 
+    /// Appends one request with its pre-computed destination bucket, so
+    /// sharded execution can skip the hashing pass. The ingress broker uses
+    /// this to coalesce submissions directly into shard-shaped batches.
+    ///
+    /// All requests of a batch must be pushed the same way: if the bucket
+    /// cache length does not match the request count at execution time, the
+    /// whole batch is re-hashed.
+    pub fn push_with_bucket(&mut self, req: Request, bucket: u32) {
+        debug_assert_eq!(
+            self.parts.buckets.len(),
+            self.reqs.len(),
+            "mixing push and push_with_bucket within one batch"
+        );
+        self.reqs.push(req);
+        self.parts.buckets.push(bucket);
+    }
+
     /// Resets every request's result to pending (see [`Request::reset`]) so
-    /// the same batch can be executed again without rebuilding it.
+    /// the same batch can be executed again without rebuilding it. Keys are
+    /// untouched, so the bucket cache stays valid.
     pub fn reset_results(&mut self) {
         for req in &mut self.reqs {
             req.reset();
@@ -85,13 +147,15 @@ impl BatchBuffer {
     }
 
     /// The requests, in the order they were pushed. Results land here after
-    /// execution — partitioned execution restores this order too.
+    /// execution — sharded execution restores this order too.
     pub fn requests(&self) -> &[Request] {
         &self.reqs
     }
 
     /// Mutable access to the requests (for editing keys/ops in place).
+    /// Invalidates the bucket cache, since keys may change under it.
     pub fn requests_mut(&mut self) -> &mut [Request] {
+        self.parts.buckets.clear();
         &mut self.reqs
     }
 }
@@ -106,8 +170,7 @@ impl FromIterator<Request> for BatchBuffer {
     fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
         Self {
             reqs: iter.into_iter().collect(),
-            order: Vec::new(),
-            scratch: Vec::new(),
+            parts: PartitionScratch::default(),
         }
     }
 }
@@ -118,16 +181,13 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
         self.execute_batch(&mut batch.reqs, grid)
     }
 
-    /// Executes the buffer's requests in bucket-partitioned order (see
-    /// [`SlabHash::execute_batch_partitioned`]), reusing the buffer's
-    /// scratch storage so repeated calls allocate nothing.
+    /// Executes the buffer's requests through sharded ownership dispatch
+    /// (see [`SlabHash::execute_batch_partitioned`]), reusing the buffer's
+    /// scratch storage — including the broker-filled bucket cache — so
+    /// repeated calls allocate nothing.
     pub fn execute_buffer_partitioned(&self, batch: &mut BatchBuffer, grid: &Grid) -> LaunchReport {
-        let BatchBuffer {
-            reqs,
-            order,
-            scratch,
-        } = batch;
-        match self.try_execute_partitioned_into(reqs, order, scratch, grid) {
+        let BatchBuffer { reqs, parts } = batch;
+        match self.try_execute_sharded_into(reqs, parts, grid) {
             Ok(report) => report,
             Err(e) => e.resume_unwind(),
         }
@@ -146,13 +206,15 @@ mod tests {
         let t = SlabHash::<KeyValue>::for_expected_elements(2000, 0.6, 11);
         let mut batch: BatchBuffer = (0..2000).map(|k| Request::replace(k, k + 1)).collect();
         t.execute_buffer(&mut batch, &grid);
-        // First partitioned execution sizes the scratch buffers …
+        // First sharded execution sizes the scratch buffers …
         batch.reset_results();
         t.execute_buffer_partitioned(&mut batch, &grid);
         let caps = (
             batch.reqs.capacity(),
-            batch.order.capacity(),
-            batch.scratch.capacity(),
+            batch.parts.buckets.capacity(),
+            batch.parts.order.capacity(),
+            batch.parts.scratch.capacity(),
+            batch.parts.segments.capacity(),
         );
         for round in 0..3 {
             batch.reset_results();
@@ -171,11 +233,98 @@ mod tests {
             caps,
             (
                 batch.reqs.capacity(),
-                batch.order.capacity(),
-                batch.scratch.capacity(),
+                batch.parts.buckets.capacity(),
+                batch.parts.order.capacity(),
+                batch.parts.scratch.capacity(),
+                batch.parts.segments.capacity(),
             )
         );
         assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn reset_retains_partition_scratch() {
+        let grid = Grid::new(4);
+        let t = SlabHash::<KeyValue>::for_expected_elements(4096, 0.6, 3);
+        let mut batch = BatchBuffer::new();
+        batch.extend((0..4096).map(|k| Request::replace(k, k)));
+        t.execute_buffer_partitioned(&mut batch, &grid);
+        let caps = (
+            batch.parts.order.capacity(),
+            batch.parts.scratch.capacity(),
+            batch.parts.segments.capacity(),
+        );
+        assert!(caps.0 >= 4096 && caps.1 >= 4096);
+        for round in 0..3 {
+            batch.reset();
+            assert!(batch.is_empty());
+            batch.extend((0..4096).map(Request::search));
+            t.execute_buffer_partitioned(&mut batch, &grid);
+            assert!(
+                batch
+                    .requests()
+                    .iter()
+                    .all(|r| matches!(r.result, OpResult::Found(_))),
+                "round {round}"
+            );
+            assert_eq!(
+                caps,
+                (
+                    batch.parts.order.capacity(),
+                    batch.parts.scratch.capacity(),
+                    batch.parts.segments.capacity(),
+                ),
+                "reset must not drop partition scratch (round {round})"
+            );
+        }
+    }
+
+    #[test]
+    fn push_with_bucket_matches_plain_push_results() {
+        let grid = Grid::new(4);
+        let t = SlabHash::<KeyValue>::for_expected_elements(3000, 0.6, 17);
+        let hash = *t.hash_fn();
+        let mut pre = BatchBuffer::new();
+        let mut plain = BatchBuffer::new();
+        for k in 0..3000u32 {
+            pre.push_with_bucket(Request::replace(k, k * 2), hash.bucket(k));
+            plain.push(Request::replace(k, k * 2));
+        }
+        t.execute_buffer_partitioned(&mut pre, &grid);
+        let t2 = SlabHash::<KeyValue>::for_expected_elements(3000, 0.6, 17);
+        t2.execute_buffer_partitioned(&mut plain, &grid);
+        for (a, b) in pre.requests().iter().zip(plain.requests()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.result, b.result);
+        }
+        assert_eq!(t.len(), 3000);
+        assert_eq!(t2.len(), 3000);
+    }
+
+    #[test]
+    fn stale_bucket_hints_only_affect_routing_not_results() {
+        let grid = Grid::new(4);
+        let t = SlabHash::<KeyValue>::for_expected_elements(2000, 0.6, 23);
+        let mut batch = BatchBuffer::new();
+        // Deliberately wrong bucket hints: everything claims bucket 0.
+        for k in 0..2000u32 {
+            batch.push_with_bucket(Request::replace(k, k + 5), 0);
+        }
+        t.execute_buffer_partitioned(&mut batch, &grid);
+        for (k, r) in batch.requests().iter().enumerate() {
+            assert_eq!(r.result, OpResult::Inserted, "key {k}");
+        }
+        assert_eq!(t.len(), 2000);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn requests_mut_invalidates_bucket_cache() {
+        let mut batch = BatchBuffer::new();
+        batch.push_with_bucket(Request::search(1), 42);
+        assert_eq!(batch.parts.buckets.len(), 1);
+        batch.requests_mut()[0].key = 2;
+        assert!(batch.parts.buckets.is_empty(), "stale hints must be dropped");
     }
 
     #[test]

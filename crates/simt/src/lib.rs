@@ -50,6 +50,7 @@ pub mod grid;
 pub mod memory;
 pub mod model;
 pub(crate) mod pool;
+pub mod shard;
 pub mod warp;
 
 pub use telemetry;
@@ -60,5 +61,6 @@ pub use epoch::{EpochClock, EpochPin};
 pub use grid::{Dispatch, Grid, LaunchError, LaunchReport, WarpCtx};
 pub use pool::PoolStats;
 pub use memory::{pack_pair, unpack_pair, SlabStorage, SLAB_BYTES, WORDS_PER_SLAB};
+pub use shard::{ShardMap, ShardPlan};
 pub use model::{GpuEstimate, GpuModel, ResourceBreakdown};
 pub use warp::{ballot, ballot_eq, ffs, lanes_below, popc, shfl, Lane, WARP_SIZE};

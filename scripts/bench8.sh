@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Produce BENCH_8.json: the launch-path/partitioning bench plus the YCSB
+# knee probe's chosen offer rate, merged into one artifact.
+#
+# Usage: scripts/bench8.sh [--quick] [out.json]
+#
+# Runs `perf` (sharded-ownership headline, hot-key chaos contention) and
+# `ycsb` in probe mode, then records the probe's measured knee and the
+# open-loop offer rate it derived (knee x margin) under `.ycsb_rate_probe`
+# in the perf output. The YCSB sections themselves stay in the ycsb
+# artifact (BENCH_7.json lineage); BENCH_8.json only pins the *chosen
+# rate* so the next session can see what this host sustained without
+# re-probing.
+#
+# Requires jq. Exit codes: 0 ok, 1 a bench failed, 2 missing tools/parse.
+
+set -euo pipefail
+
+quick=""
+out="BENCH_8.json"
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick="--quick" ;;
+        *) out="$arg" ;;
+    esac
+done
+
+command -v jq >/dev/null || { echo "bench8: jq not found" >&2; exit 2; }
+cd "$(dirname "$0")/.."
+
+cargo build --release -p slab-bench
+
+threads=8
+tmp_ycsb=$(mktemp /tmp/bench8-ycsb.XXXXXX.json)
+trap 'rm -f "$tmp_ycsb"' EXIT
+
+./target/release/perf $quick --threads $threads --out "$out"
+./target/release/ycsb $quick --out "$tmp_ycsb"
+
+probe=$(jq '.rate_probe // empty' "$tmp_ycsb")
+if [ -z "$probe" ]; then
+    echo "bench8: ycsb output has no rate_probe section (was --rate forced?)" >&2
+    exit 2
+fi
+
+merged=$(jq --argjson probe "$probe" '. + {ycsb_rate_probe: $probe}' "$out")
+printf '%s\n' "$merged" > "$out"
+echo "bench8: wrote $out (ycsb knee $(jq -r '.ycsb_rate_probe.knee_ops_s' "$out") ops/s, \
+chosen $(jq -r '.ycsb_rate_probe.chosen_ops_s' "$out") ops/s)"

@@ -10,6 +10,17 @@
 # and new metrics never fail. Tolerance defaults to 15 (percent) and can
 # also be set via BENCH_GATE_TOLERANCE_PCT.
 #
+# A headline metric that the baseline names but the fresh run lost (missing
+# or null) FAILS the gate — a metric that silently disappears is a broken
+# bench, not a pass. A null/non-numeric headline in the *baseline* is a
+# corrupt baseline and exits 2.
+#
+# Partition gate: when the fresh run reports `partitioned.speedup` (sharded
+# vs flat batch dispatch), it must be >= 1.0 — sharded ownership dispatch
+# regressing below the flat path fails outright, tolerance does not apply.
+# If the baseline has the metric and the fresh run dropped it, that fails
+# too.
+#
 # Exit codes: 0 pass, 1 regression, 2 usage/parse error.
 
 set -euo pipefail
@@ -39,12 +50,34 @@ headlines() {
     ' "$1"
 }
 
+# Emit the dotted path of every headline-*named* field whose value is NOT a
+# number (null, string, ...): the silent-skip shapes the numeric filter in
+# `headlines` would otherwise hide.
+nonnumeric_headlines() {
+    jq -r '
+        paths as $p
+        | select(($p[-1] | tostring) | test("^(throughput_ops_s|[a-z_]+_mops)$"))
+        | select((getpath($p) | type) != "number")
+        | ($p | map(tostring) | join("."))
+    ' "$1"
+}
+
+# A corrupt baseline (null/non-numeric headline) would silently shrink the
+# checked set on every future run: refuse it outright.
+bad_base=$(nonnumeric_headlines "$baseline")
+if [ -n "$bad_base" ]; then
+    echo "bench gate: baseline $baseline has non-numeric headline metric(s):" >&2
+    echo "$bad_base" >&2
+    exit 2
+fi
+
 status=0
 count=0
 while read -r path base; do
     fresh_val=$(jq -r --arg p "$path" 'getpath($p | split(".")) // "missing"' "$fresh")
     if [ "$fresh_val" = "missing" ] || [ "$fresh_val" = "null" ]; then
-        echo "bench gate: SKIP $path (absent from fresh run)"
+        echo "bench gate: FAIL $path: in baseline but missing/null in fresh run (broken bench?)"
+        status=1
         continue
     fi
     count=$((count + 1))
@@ -63,9 +96,25 @@ while read -r path base; do
     fi
 done < <(headlines "$baseline")
 
-if [ "$count" -eq 0 ]; then
+if [ "$count" -eq 0 ] && [ "$status" -eq 0 ]; then
     echo "bench gate: no headline metrics found in $baseline" >&2
     exit 2
 fi
+
+# --- Partition gate: sharded dispatch must not regress below flat. ---
+fresh_speedup=$(jq -r '.partitioned.speedup // "missing"' "$fresh")
+base_speedup=$(jq -r '.partitioned.speedup // "missing"' "$baseline")
+if [ "$fresh_speedup" != "missing" ] && [ "$fresh_speedup" != "null" ]; then
+    if awk -v s="$fresh_speedup" 'BEGIN { exit !(s + 0 < 1.0) }'; then
+        echo "bench gate: FAIL partitioned.speedup: $fresh_speedup < 1.0 (sharded dispatch slower than flat)"
+        status=1
+    else
+        echo "bench gate: ok   partitioned.speedup: $fresh_speedup >= 1.0"
+    fi
+elif [ "$base_speedup" != "missing" ] && [ "$base_speedup" != "null" ]; then
+    echo "bench gate: FAIL partitioned.speedup: in baseline but missing from fresh run"
+    status=1
+fi
+
 echo "bench gate: $count metrics checked against $baseline (tolerance ${tolerance}%), status $status"
 exit "$status"

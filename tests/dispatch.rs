@@ -229,6 +229,104 @@ fn partitioned_batches_match_unpartitioned_results_and_state() {
 }
 
 #[test]
+fn sharded_matches_unpartitioned_under_chaos_yields() {
+    // Scheduling chaos (forced yields) perturbs interleavings but not
+    // outcomes: the sharded path must still produce byte-identical replies
+    // in the caller's order and the same final table state.
+    let _chaos = ChaosGuard::plan(FaultPlan::seeded(0x5A5A).with_yields(0.2));
+    let grid = Grid::new(4);
+    let n = 2400;
+    let built: Vec<u32> = (0..n as u64).map(|i| mixed_key(44_000_000 + i)).collect();
+    let pairs: Vec<(u32, u32)> = built.iter().map(|&k| (k, k ^ 3)).collect();
+    let t1 = SlabHash::<KeyValue>::new(SlabHashConfig {
+        seed: 0xFACE,
+        ..SlabHashConfig::with_buckets(128)
+    });
+    let t2 = SlabHash::<KeyValue>::new(SlabHashConfig {
+        seed: 0xFACE,
+        ..SlabHashConfig::with_buckets(128)
+    });
+    t1.bulk_build(&pairs, &grid);
+    t2.bulk_build_partitioned(&pairs, &grid);
+
+    let mut b1 = deterministic_batch(&built, 91_000_000);
+    let mut b2 = b1.clone();
+    t1.execute_batch(&mut b1, &grid);
+    t2.execute_batch_partitioned(&mut b2, &grid);
+    for (i, (r1, r2)) in b1.iter().zip(&b2).enumerate() {
+        assert_eq!(r1.key, r2.key, "slot {i}: request order changed");
+        assert_eq!(r1.result, r2.result, "slot {i} (key {})", r1.key);
+    }
+    let mut e1 = t1.collect_elements();
+    let mut e2 = t2.collect_elements();
+    e1.sort_unstable();
+    e2.sort_unstable();
+    assert_eq!(e1, e2, "table state diverged under yield chaos");
+    t2.audit().expect("sharded table audits clean under chaos");
+}
+
+#[test]
+fn sharded_replies_stay_typed_and_ordered_under_cas_fault_injection() {
+    // Injected CAS failures can burn retry budgets, so exact results are
+    // not schedule-independent here. The contract that must survive: every
+    // request comes back completed or with a *typed* failure (never
+    // Pending), in the caller's order, and the table still audits clean.
+    let _chaos = ChaosGuard::plan(FaultPlan::seeded(0xBEEF).with_cas_failures(0.25));
+    let grid = Grid::new(4);
+    let n = 1800;
+    let built: Vec<u32> = (0..n as u64).map(|i| mixed_key(55_000_000 + i)).collect();
+    let pairs: Vec<(u32, u32)> = built.iter().map(|&k| (k, k ^ 9)).collect();
+    let t = SlabHash::<KeyValue>::new(SlabHashConfig {
+        seed: 0xD00D,
+        ..SlabHashConfig::with_buckets(96)
+    });
+    t.bulk_build_partitioned(&pairs, &grid);
+
+    let submitted = deterministic_batch(&built, 66_000_000);
+    let mut batch = submitted.clone();
+    t.execute_batch_partitioned(&mut batch, &grid);
+    assert_eq!(batch.len(), submitted.len());
+    for (i, (sent, got)) in submitted.iter().zip(&batch).enumerate() {
+        assert_eq!(sent.key, got.key, "slot {i}: caller order not restored");
+        assert_eq!(sent.op, got.op, "slot {i}: op changed in flight");
+        assert_ne!(got.result, OpResult::Pending, "slot {i} never executed");
+    }
+    t.audit().expect("table audits clean after faulted sharded batch");
+}
+
+#[test]
+fn sharded_batches_survive_worker_death_between_rounds() {
+    // Ownership is scheduling affinity, not correctness: as pool workers
+    // die round by round (down to launcher-only), the steal path must keep
+    // every sharded batch complete and correct.
+    let grid = Grid::new(4);
+    let n = 1500u32;
+    let t = SlabHash::<KeyValue>::for_expected_elements(n as usize, 0.6, 21);
+    let mut batch: BatchBuffer = (0..n).map(|k| Request::replace(k, k)).collect();
+    t.execute_buffer_partitioned(&mut batch, &grid);
+    for round in 1..5u32 {
+        // Kill one more worker each round; by the last rounds the grid is
+        // launcher-only and shards are drained entirely by stealing.
+        grid.debug_kill_pool_workers(1);
+        for req in batch.requests_mut() {
+            req.value = req.key + round;
+        }
+        batch.reset_results();
+        t.execute_buffer_partitioned(&mut batch, &grid);
+        for req in batch.requests() {
+            assert_eq!(
+                req.result,
+                OpResult::Replaced(req.key + round - 1),
+                "round {round}, key {}",
+                req.key
+            );
+        }
+    }
+    assert_eq!(t.len(), n as usize);
+    t.audit().expect("table audits clean after worker-death rounds");
+}
+
+#[test]
 fn batch_buffer_partitioned_loop_is_stable() {
     // The allocation-free loop: one buffer, reset + partitioned execution
     // per round, against a table that the rounds keep mutating back and
