@@ -1,0 +1,71 @@
+//! Standalone wire-transport server: a [`SlabHash`] table behind a broker
+//! behind a framed TCP [`WireServer`], run until killed.
+//!
+//! This is the serving half of the transport smoke test (`ycsb --connect`
+//! is the load half): CI starts it, loads it, `kill -9`s it mid-load,
+//! restarts it, and asserts the clients came back. It is also the shortest
+//! path to poking the wire protocol by hand.
+//!
+//! Flags: `--addr HOST:PORT` (default `127.0.0.1:9290`), `--buckets N`
+//! (default 8192), `--deadline-ms D` broker deadline budget (default 100),
+//! `--metrics HOST:PORT` (optional Prometheus endpoint).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use slab_bench::Args;
+use slab_hash::{KeyValue, SlabHash, SlabHashConfig};
+use slab_ingress::{Broker, BrokerConfig, WireServer, WireServerConfig};
+
+fn main() {
+    let args = Args::parse();
+    let addr: String = args
+        .value("addr")
+        .unwrap_or_else(|| "127.0.0.1:9290".into());
+    let buckets: u32 = args.value("buckets").unwrap_or(8192);
+    let deadline = Duration::from_millis(args.value("deadline-ms").unwrap_or(100));
+
+    let table = Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(
+        buckets,
+    )));
+    let mut broker = Broker::spawn(
+        Arc::clone(&table),
+        BrokerConfig {
+            default_deadline: deadline,
+            ..BrokerConfig::default()
+        },
+    );
+    if let Some(metrics_addr) = args.value::<String>("metrics") {
+        broker = broker
+            .with_metrics_addr(&metrics_addr)
+            .expect("bind metrics exporter");
+        if let Some(bound) = broker.metrics_addr() {
+            println!("metrics exporter on http://{bound}/metrics");
+        }
+    }
+    // Crash-restart friendly: after a kill -9 the port can linger busy for
+    // a moment (dying connections, a racing predecessor), so retry the bind
+    // briefly instead of failing the restart.
+    let server = {
+        let mut attempt = 0u32;
+        loop {
+            match WireServer::bind(addr.as_str(), &broker, WireServerConfig::default()) {
+                Ok(server) => break server,
+                Err(e) if attempt < 50 => {
+                    attempt += 1;
+                    eprintln!("bind {addr} failed ({e}); retrying");
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                Err(e) => panic!("bind wire server on {addr}: {e}"),
+            }
+        }
+    };
+    // The smoke script greps for this exact line to learn the bound port.
+    println!("wire server listening on {}", server.local_addr());
+
+    // Serve until killed: the smoke test ends this process with a signal,
+    // which is exactly the crash the reconnecting clients are built for.
+    loop {
+        std::thread::park();
+    }
+}

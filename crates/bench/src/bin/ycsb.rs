@@ -30,6 +30,20 @@
 //! `--read PCT` (default 90), `--rate R` (override the open-loop base rate,
 //! skipping the knee probe), `--chaos` (inject CAS failures + yields into
 //! broker dispatches), `--out <path>` (default `BENCH_7.json`).
+//!
+//! Wire-transport modes (issue 9; default output `BENCH_9.json`):
+//!
+//! * `--socket` — run the closed loop twice against the *same* preloaded
+//!   table: once in-process (broker handles) and once over a loopback TCP
+//!   [`WireServer`] with one reconnecting [`WireClient`] per thread. The
+//!   report puts the two side by side plus a `wire_tax` section (added
+//!   latency and throughput ratio), so the cost of framing + loopback TCP
+//!   is a measured number instead of folklore.
+//! * `--connect ADDR` — drive an already-running server (see the
+//!   `wire_server` binary) with the same closed loop. This mode is
+//!   deliberately failure-tolerant: transport errors are counted, not
+//!   fatal, and clients redial through server restarts — it is the load
+//!   half of the `kill -9` smoke test in CI.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,7 +52,8 @@ use simt::FaultPlan;
 use slab_bench::Args;
 use slab_hash::{KeyValue, Request, SlabHash, SlabHashConfig};
 use slab_ingress::{
-    Broker, BrokerConfig, LatencyRecorder, LatencySummary, Reply, Ticket, STAGES, STAGE_COUNT,
+    Broker, BrokerConfig, LatencyRecorder, LatencySummary, Reply, Ticket, WireClient,
+    WireClientConfig, WireServer, WireServerConfig, STAGES, STAGE_COUNT,
 };
 
 /// Everything one run section reports into the JSON.
@@ -412,8 +427,279 @@ fn probe_knee(
     }
 }
 
+/// What one socket-mode run section reports: like [`RunStats`] but with
+/// client-measured latency (the wire tax is part of the number, which is the
+/// point) and the transport-layer failure taxonomy alongside the broker's.
+#[derive(Default)]
+struct SocketStats {
+    attempted: u64,
+    completed: u64,
+    shed: u64,
+    timed_out: u64,
+    transport_errors: u64,
+    errors: u64,
+    reconnects: u64,
+    connect_failures: u64,
+    latency: LatencyRecorder,
+    latency_ns: u128,
+    wall: Duration,
+}
+
+impl SocketStats {
+    fn merge(&mut self, other: &SocketStats) {
+        self.attempted += other.attempted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.timed_out += other.timed_out;
+        self.transport_errors += other.transport_errors;
+        self.errors += other.errors;
+        self.reconnects += other.reconnects;
+        self.connect_failures += other.connect_failures;
+        self.latency.merge(&other.latency);
+        self.latency_ns += other.latency_ns;
+    }
+
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn mean_us(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.latency_ns as f64 / self.completed as f64 / 1e3
+    }
+
+    fn json(&self) -> String {
+        let s: LatencySummary = self.latency.summary();
+        format!(
+            "{{\"throughput_ops_s\": {:.0}, \"attempted\": {}, \"completed\": {}, \
+             \"shed\": {}, \"timed_out\": {}, \"transport_errors\": {}, \"errors\": {}, \
+             \"reconnects\": {}, \"connect_failures\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}, \
+             \"mean_us\": {:.3}}}",
+            self.throughput(),
+            self.attempted,
+            self.completed,
+            self.shed,
+            self.timed_out,
+            self.transport_errors,
+            self.errors,
+            self.reconnects,
+            self.connect_failures,
+            s.p50_us,
+            s.p99_us,
+            s.p999_us,
+            s.max_us,
+            self.mean_us(),
+        )
+    }
+}
+
+/// C threads, one [`WireClient`] each, one outstanding request per client:
+/// the socket twin of [`closed_loop`]. Latency is client-measured around
+/// `call_with_deadline`, so it includes encode + TCP + decode — the wire
+/// tax. Transport failures are counted and survived (clients redial on the
+/// next call), which is what lets the `--connect` smoke test `kill -9` the
+/// server mid-load and still get a clean report.
+fn socket_closed_loop(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    duration: Duration,
+    keyspace: u32,
+    read_pct: u32,
+    budget: Duration,
+) -> SocketStats {
+    let start = Instant::now();
+    let joins: Vec<_> = (0..clients as u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stats = SocketStats::default();
+                let cfg = WireClientConfig {
+                    default_deadline: budget,
+                    seed: 0x59C5_B000 + c,
+                    ..WireClientConfig::default()
+                };
+                let mut client = match WireClient::new(addr, cfg) {
+                    Ok(client) => client,
+                    Err(_) => return stats,
+                };
+                let mut i = c << 40;
+                while start.elapsed() < duration {
+                    let req = request_for(i, keyspace, read_pct);
+                    i += 1;
+                    stats.attempted += 1;
+                    let t0 = Instant::now();
+                    match client.call(req) {
+                        Ok(_) => {
+                            let dt = t0.elapsed();
+                            stats.completed += 1;
+                            stats.latency.record(dt);
+                            stats.latency_ns += dt.as_nanos();
+                        }
+                        Err(e) if e.is_overload() => stats.shed += 1,
+                        Err(e) if e.is_timeout() => stats.timed_out += 1,
+                        Err(e) if e.is_disconnect() => stats.transport_errors += 1,
+                        Err(_) => stats.errors += 1,
+                    }
+                }
+                let cs = client.stats();
+                stats.reconnects = cs.reconnects;
+                stats.connect_failures = cs.connect_failures;
+                stats
+            })
+        })
+        .collect();
+    let mut total = SocketStats::default();
+    for join in joins {
+        total.merge(&join.join().expect("socket closed-loop client"));
+    }
+    total.wall = start.elapsed();
+    total
+}
+
+fn print_socket_summary(label: &str, stats: &SocketStats) {
+    println!(
+        "{label}: {:.0} ops/s, p50 {} us, p99 {} us ({} completed, {} shed, \
+         {} timed out, {} transport errors, {} reconnects)",
+        stats.throughput(),
+        stats.latency.summary().p50_us,
+        stats.latency.summary().p99_us,
+        stats.completed,
+        stats.shed,
+        stats.timed_out,
+        stats.transport_errors,
+        stats.reconnects,
+    );
+}
+
+/// `--socket`: in-process baseline and loopback-TCP run over one table,
+/// reported side by side with the measured wire tax.
+fn run_socket_mode(args: &Args) {
+    let quick = args.flag("quick");
+    let clients: usize = args.value("clients").unwrap_or(if quick { 4 } else { 8 });
+    let duration = Duration::from_millis(
+        args.value("duration-ms").unwrap_or(if quick { 400 } else { 2000 }),
+    );
+    let read_pct: u32 = args.value("read").unwrap_or(90).min(100);
+    let out: String = args.value("out").unwrap_or_else(|| "BENCH_9.json".into());
+    let keyspace: u32 = if quick { 1 << 14 } else { 1 << 17 };
+    let budget = Duration::from_millis(100);
+
+    let table = Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(
+        keyspace / 16,
+    )));
+    preload(&table, keyspace);
+    println!(
+        "wire ycsb: {clients} clients, {read_pct}% reads, {}ms/section",
+        duration.as_millis()
+    );
+
+    let in_process = closed_loop(&table, clients, duration, keyspace, read_pct, false);
+    println!(
+        "in-process closed loop: {:.0} ops/s, p50 {} us, p99 {} us",
+        in_process.throughput(),
+        in_process.latency.summary().p50_us,
+        in_process.latency.summary().p99_us,
+    );
+
+    let broker = Broker::spawn(Arc::clone(&table), broker_config(false, budget));
+    let server = WireServer::bind("127.0.0.1:0", &broker, WireServerConfig::default())
+        .expect("bind loopback wire server");
+    let socket = socket_closed_loop(
+        server.local_addr(),
+        clients,
+        duration,
+        keyspace,
+        read_pct,
+        budget,
+    );
+    print_socket_summary("socket closed loop", &socket);
+    server.shutdown();
+    broker.shutdown();
+
+    let inproc_sum = in_process.latency.summary();
+    let socket_sum = socket.latency.summary();
+    let tax_p50 = socket_sum.p50_us as i64 - inproc_sum.p50_us as i64;
+    let tax_p99 = socket_sum.p99_us as i64 - inproc_sum.p99_us as i64;
+    let ratio = if in_process.throughput() > 0.0 {
+        socket.throughput() / in_process.throughput()
+    } else {
+        0.0
+    };
+    println!(
+        "wire tax: +{tax_p50} us p50, +{tax_p99} us p99, {:.2}x in-process throughput",
+        ratio
+    );
+
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"wire_transport\",\n  \
+         \"issue\": 9,\n  \
+         \"clients\": {clients},\n  \
+         \"read_pct\": {read_pct},\n  \
+         \"duration_ms\": {},\n  \
+         \"in_process\": {},\n  \
+         \"socket\": {},\n  \
+         \"wire_tax\": {{\"p50_us\": {tax_p50}, \"p99_us\": {tax_p99}, \
+         \"throughput_ratio\": {ratio:.4}}}\n\
+         }}\n",
+        duration.as_millis(),
+        in_process.json(None),
+        socket.json(),
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}
+
+/// `--connect ADDR`: the load half of the transport smoke test. Drives an
+/// external server, surviving (and counting) its deaths and restarts.
+fn run_connect_mode(args: &Args, addr_str: &str) {
+    let quick = args.flag("quick");
+    let clients: usize = args.value("clients").unwrap_or(if quick { 4 } else { 8 });
+    let duration = Duration::from_millis(
+        args.value("duration-ms").unwrap_or(if quick { 400 } else { 2000 }),
+    );
+    let read_pct: u32 = args.value("read").unwrap_or(90).min(100);
+    let out: String = args.value("out").unwrap_or_else(|| "BENCH_9.json".into());
+    let keyspace: u32 = if quick { 1 << 14 } else { 1 << 17 };
+    let budget = Duration::from_millis(250);
+
+    let addr: std::net::SocketAddr = addr_str.parse().expect("--connect takes HOST:PORT");
+    println!(
+        "wire ycsb -> {addr}: {clients} clients, {read_pct}% reads, {}ms",
+        duration.as_millis()
+    );
+    let socket = socket_closed_loop(addr, clients, duration, keyspace, read_pct, budget);
+    print_socket_summary("socket loop", &socket);
+
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"wire_transport_connect\",\n  \
+         \"issue\": 9,\n  \
+         \"addr\": \"{addr}\",\n  \
+         \"clients\": {clients},\n  \
+         \"read_pct\": {read_pct},\n  \
+         \"duration_ms\": {},\n  \
+         \"socket\": {}\n\
+         }}\n",
+        duration.as_millis(),
+        socket.json(),
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args = Args::parse();
+    if let Some(addr) = args.value::<String>("connect") {
+        run_connect_mode(&args, &addr);
+        return;
+    }
+    if args.flag("socket") {
+        run_socket_mode(&args);
+        return;
+    }
     let quick = args.flag("quick");
     let clients: usize = args.value("clients").unwrap_or(if quick { 4 } else { 8 });
     let duration = Duration::from_millis(

@@ -18,6 +18,8 @@
 //! construct — two `u64`s and a config — so per-warp and per-batch users
 //! can keep one inline without allocation.
 
+use std::time::Duration;
+
 /// Shape of the backoff curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BackoffConfig {
@@ -112,6 +114,38 @@ impl Backoff {
         }
     }
 
+    /// The full-jittered sleep duration for the next failed attempt, and
+    /// advances the curve: uniform in `[1ns, min(base · 2^attempt, cap)]`.
+    ///
+    /// This is the wall-clock sibling of [`wait`](Self::wait) for retry
+    /// loops whose unit of waiting is a real sleep rather than a spin —
+    /// reconnecting network clients, poll loops on external state. The
+    /// caller sleeps (or bounds the sleep by its own deadline); the backoff
+    /// only picks the duration, so seeded schedules stay replayable.
+    pub fn delay(&mut self, base: Duration, cap: Duration) -> Duration {
+        let attempt = self.attempt;
+        self.attempt = self.attempt.saturating_add(1);
+        self.delay_attempt(attempt, base, cap)
+    }
+
+    /// The jittered delay as if `attempt` prior attempts had failed, without
+    /// touching the internal counter. The exponential ceiling is computed in
+    /// 128-bit nanoseconds, so repeated doubling saturates at `cap` instead
+    /// of wrapping, no matter how large `attempt` grows.
+    pub fn delay_attempt(&mut self, attempt: u32, base: Duration, cap: Duration) -> Duration {
+        let cap_ns = cap.as_nanos().max(1);
+        // base · 2^attempt in u128 ns; the shift alone cannot overflow u128
+        // for attempt < 64, and anything ≥ 64 doublings is past any real cap.
+        let ceiling_ns = if attempt >= 64 {
+            cap_ns
+        } else {
+            ((base.as_nanos().max(1)) << attempt).min(cap_ns)
+        };
+        // Full jitter: uniform in [1, ceiling].
+        let jittered = 1 + self.next_u64() as u128 % ceiling_ns;
+        Duration::from_nanos(jittered.min(u128::from(u64::MAX)) as u64)
+    }
+
     /// The private SplitMix64 jitter stream.
     fn next_u64(&mut self) -> u64 {
         self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -171,6 +205,74 @@ mod tests {
         for attempt in [0, 1, 16, 1000, u32::MAX] {
             b.wait_attempt(attempt);
         }
+    }
+
+    #[test]
+    fn delay_saturates_at_cap_instead_of_wrapping() {
+        // Repeated doubling must clamp to the cap: a u64::MAX attempt count
+        // would overflow any fixed-width shift, and a wrapped ceiling would
+        // hand a reconnect loop a near-zero delay at the worst moment.
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut b = Backoff::new(42);
+        for attempt in [0, 5, 63, 64, 1000, u32::MAX] {
+            let d = b.delay_attempt(attempt, base, cap);
+            assert!(d >= Duration::from_nanos(1), "delay must be nonzero");
+            assert!(d <= cap, "attempt {attempt}: delay {d:?} exceeds cap {cap:?}");
+        }
+        // At high attempt counts the ceiling is exactly the cap, so over
+        // many samples the delays must be able to approach it (full jitter
+        // over [1, cap], not a wrapped tiny window).
+        let max_seen = (0..64)
+            .map(|_| b.delay_attempt(1000, base, cap))
+            .max()
+            .unwrap();
+        assert!(
+            max_seen > cap / 2,
+            "jitter window collapsed: max over 64 samples was {max_seen:?}"
+        );
+    }
+
+    #[test]
+    fn delay_schedule_is_replayable_per_seed() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(seed);
+            (0..12).map(|_| b.delay(base, cap)).collect()
+        };
+        assert_eq!(
+            schedule(7),
+            schedule(7),
+            "same seed must replay the same reconnect schedule"
+        );
+        assert_ne!(
+            schedule(7),
+            schedule(8),
+            "distinct seeds must decorrelate reconnect schedules"
+        );
+    }
+
+    #[test]
+    fn delay_respects_exponential_ceiling_at_low_attempts() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(10);
+        let mut b = Backoff::new(9);
+        for _ in 0..256 {
+            // attempt 0 → ceiling = base.
+            let d = b.delay_attempt(0, base, cap);
+            assert!(d <= base);
+            // attempt 3 → ceiling = 8 · base.
+            let d = b.delay_attempt(3, base, cap);
+            assert!(d <= base * 8);
+        }
+    }
+
+    #[test]
+    fn delay_zero_durations_never_panic() {
+        let mut b = Backoff::new(0);
+        let d = b.delay(Duration::ZERO, Duration::ZERO);
+        assert!(d >= Duration::from_nanos(1));
     }
 
     #[test]

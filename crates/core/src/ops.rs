@@ -180,7 +180,7 @@ impl OpResult {
 
 /// One lane's request: an operation, its key, and (for insertions in the
 /// key–value layout) a value. Results are written back in place.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Request {
     /// Which operation to perform.
     pub op: OpKind,

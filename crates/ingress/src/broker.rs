@@ -294,6 +294,17 @@ impl Drop for Broker {
             // it via `shutdown` is the supported path.
             let _ = thread.join();
         }
+        // Same teardown order as `shutdown`: stop the snapshot writer after
+        // the broker has drained (so its final line sees end-of-life state),
+        // then the exporter. Explicit, not left to field-drop order: drop
+        // must release the listener socket and join the writer thread just
+        // as reliably as `shutdown` does.
+        if let Some(snapshots) = self.snapshots.take() {
+            snapshots.shutdown();
+        }
+        if let Some(exporter) = self.exporter.take() {
+            exporter.shutdown();
+        }
     }
 }
 

@@ -55,12 +55,18 @@ mod client;
 mod error;
 mod metrics;
 mod stats;
+pub mod transport;
+pub mod wire;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use broker::{Broker, BrokerConfig};
 pub use client::{ClientHandle, Reply, Ticket};
 pub use error::IngressError;
 pub use stats::{IngressStats, LatencyRecorder, LatencySummary};
+pub use transport::{
+    ClientStats, TransportError, WireClient, WireClientConfig, WireFaultPlan, WireServer,
+    WireServerConfig,
+};
 
 // The span/metrics vocabulary clients need to consume `Reply::span` and a
 // broker's registry without naming the telemetry crate themselves.

@@ -1,0 +1,296 @@
+//! Deterministic transport-level fault injection, mirroring
+//! [`simt::FaultPlan`]'s seeded-plan idiom at the socket layer.
+//!
+//! A [`WireFaultPlan`] describes *how often* a connection misbehaves; a
+//! [`FaultInjector`] turns the plan into a per-stream decision sequence.
+//! Each stream's SplitMix64 state is seeded from the plan's base seed mixed
+//! with the stream id, so (a) different connections fail differently, and
+//! (b) a fixed seed replays the exact same torn frames, stalls, and
+//! disconnects — the chaos transport tests are deterministic, not flaky.
+//!
+//! Faults are injected at frame-write time, where every real-world failure
+//! the protocol must survive can be manufactured:
+//!
+//! * **torn frame** — write a strict prefix of the frame, then drop the
+//!   connection, so the peer observes an EOF mid-frame;
+//! * **stalled write** — sleep before writing, so the peer's read timeout
+//!   and deadline machinery get exercised;
+//! * **abrupt disconnect** — drop the connection without writing anything,
+//!   the classic silent peer death.
+
+use std::io::{self, Write};
+use std::time::Duration;
+
+use crate::wire::{encode_frame, Frame};
+
+/// A seeded plan of transport faults. Probabilities are clamped to
+/// `[0, 1]`; the default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFaultPlan {
+    /// Base seed for the per-stream decision sequences.
+    pub seed: u64,
+    /// Probability that a frame write tears: a strict prefix is written and
+    /// the connection is dropped.
+    pub torn_frame_probability: f64,
+    /// Probability that a frame write stalls for [`stall`](Self::stall)
+    /// before proceeding.
+    pub stall_probability: f64,
+    /// How long a stalled write sleeps.
+    pub stall: Duration,
+    /// Probability that a frame write is swallowed entirely and the
+    /// connection dropped (abrupt peer death).
+    pub disconnect_probability: f64,
+}
+
+impl Default for WireFaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0x51AB_CAFE,
+            torn_frame_probability: 0.0,
+            stall_probability: 0.0,
+            stall: Duration::from_millis(20),
+            disconnect_probability: 0.0,
+        }
+    }
+}
+
+impl WireFaultPlan {
+    /// A no-fault plan with the given base seed (combine with the `with_*`
+    /// builders).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the torn-frame probability.
+    pub fn with_torn_frames(mut self, p: f64) -> Self {
+        self.torn_frame_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the stalled-write probability and stall duration.
+    pub fn with_stalls(mut self, p: f64, stall: Duration) -> Self {
+        self.stall_probability = p.clamp(0.0, 1.0);
+        self.stall = stall;
+        self
+    }
+
+    /// Sets the abrupt-disconnect probability.
+    pub fn with_disconnects(mut self, p: f64) -> Self {
+        self.disconnect_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// True when the plan can inject at least one fault kind.
+    pub fn is_active(&self) -> bool {
+        self.torn_frame_probability > 0.0
+            || self.stall_probability > 0.0
+            || self.disconnect_probability > 0.0
+    }
+
+    /// The injector for one stream (connection). Distinct `stream_id`s
+    /// decorrelate; the same `(plan, stream_id)` pair replays identically.
+    pub fn injector(&self, stream_id: u64) -> FaultInjector {
+        FaultInjector {
+            plan: *self,
+            // SplitMix64 finalizer over seed ⊕ stream id: streams that
+            // differ in one bit still get unrelated sequences.
+            rng: mix64(self.seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What the injector decided for one frame write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Write the frame normally.
+    None,
+    /// Write a strict prefix, then drop the connection.
+    Tear,
+    /// Sleep for the plan's stall duration, then write normally.
+    Stall,
+    /// Write nothing and drop the connection.
+    Disconnect,
+}
+
+/// The outcome of a fault-injected frame write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The frame reached the socket intact (possibly after a stall).
+    Sent,
+    /// A fault consumed the frame; the caller must drop the connection so
+    /// the peer observes the failure.
+    Dropped,
+}
+
+/// One stream's deterministic fault-decision sequence.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: WireFaultPlan,
+    rng: u64,
+}
+
+impl FaultInjector {
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.rng)
+    }
+
+    fn draw(&mut self) -> f64 {
+        // 53-bit mantissa draw in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of the next frame write. Fault kinds are sampled in
+    /// a fixed order (disconnect, tear, stall) so a seed replays the same
+    /// sequence regardless of which probabilities are enabled.
+    pub fn next_action(&mut self) -> FaultAction {
+        let roll = self.draw();
+        let d = self.plan.disconnect_probability;
+        let t = self.plan.torn_frame_probability;
+        let s = self.plan.stall_probability;
+        if roll < d {
+            FaultAction::Disconnect
+        } else if roll < d + t {
+            FaultAction::Tear
+        } else if roll < d + t + s {
+            FaultAction::Stall
+        } else {
+            FaultAction::None
+        }
+    }
+
+    /// Writes `frame` through the fault plan: the frame is either sent
+    /// intact ([`WriteOutcome::Sent`]) or consumed by an injected fault
+    /// ([`WriteOutcome::Dropped`] — the caller must close the connection).
+    /// `scratch` is reused across calls.
+    pub fn write_frame(
+        &mut self,
+        w: &mut impl Write,
+        frame: &Frame,
+        scratch: &mut Vec<u8>,
+    ) -> io::Result<WriteOutcome> {
+        match self.next_action() {
+            FaultAction::None => {}
+            FaultAction::Stall => std::thread::sleep(self.plan.stall),
+            FaultAction::Disconnect => return Ok(WriteOutcome::Dropped),
+            FaultAction::Tear => {
+                scratch.clear();
+                encode_frame(frame, scratch);
+                // A strict, nonempty prefix: enough to wake the peer's
+                // reader, never enough to validate.
+                let cut = (scratch.len() / 2).max(1);
+                let _ = w.write_all(&scratch[..cut]);
+                let _ = w.flush();
+                return Ok(WriteOutcome::Dropped);
+            }
+        }
+        scratch.clear();
+        encode_frame(frame, scratch);
+        w.write_all(scratch)?;
+        w.flush()?;
+        Ok(WriteOutcome::Sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = WireFaultPlan::default();
+        assert!(!plan.is_active());
+        let mut inj = plan.injector(3);
+        for _ in 0..100 {
+            assert_eq!(inj.next_action(), FaultAction::None);
+        }
+    }
+
+    #[test]
+    fn decision_sequences_replay_per_seed_and_stream() {
+        let plan = WireFaultPlan::seeded(0xDEAD)
+            .with_torn_frames(0.2)
+            .with_stalls(0.2, Duration::from_millis(1))
+            .with_disconnects(0.2);
+        let seq = |stream: u64| -> Vec<FaultAction> {
+            let mut inj = plan.injector(stream);
+            (0..64).map(|_| inj.next_action()).collect()
+        };
+        assert_eq!(seq(1), seq(1), "same stream must replay");
+        assert_ne!(seq(1), seq(2), "streams must decorrelate");
+        let other = WireFaultPlan::seeded(0xBEEF)
+            .with_torn_frames(0.2)
+            .with_stalls(0.2, Duration::from_millis(1))
+            .with_disconnects(0.2);
+        assert_ne!(
+            seq(1),
+            {
+                let mut inj = other.injector(1);
+                (0..64).map(|_| inj.next_action()).collect::<Vec<_>>()
+            },
+            "seeds must decorrelate"
+        );
+    }
+
+    #[test]
+    fn all_fault_kinds_fire_at_high_probability() {
+        let plan = WireFaultPlan::seeded(7)
+            .with_torn_frames(0.3)
+            .with_stalls(0.3, Duration::from_millis(1))
+            .with_disconnects(0.3);
+        let mut inj = plan.injector(0);
+        let mut saw = [false; 4];
+        for _ in 0..256 {
+            match inj.next_action() {
+                FaultAction::None => saw[0] = true,
+                FaultAction::Tear => saw[1] = true,
+                FaultAction::Stall => saw[2] = true,
+                FaultAction::Disconnect => saw[3] = true,
+            }
+        }
+        assert!(saw.iter().all(|&s| s), "kinds seen: {saw:?}");
+    }
+
+    #[test]
+    fn torn_write_emits_a_strict_nonempty_prefix() {
+        let plan = WireFaultPlan::seeded(1).with_torn_frames(1.0);
+        let mut inj = plan.injector(0);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let frame = Frame::Reject(crate::wire::RejectReason::Draining);
+        let outcome = inj.write_frame(&mut out, &frame, &mut scratch).unwrap();
+        assert_eq!(outcome, WriteOutcome::Dropped);
+        let mut full = Vec::new();
+        encode_frame(&frame, &mut full);
+        assert!(!out.is_empty() && out.len() < full.len());
+        assert_eq!(out[..], full[..out.len()]);
+        // The torn prefix must not decode as a complete frame.
+        assert!(matches!(crate::wire::decode_frame(&out), Ok(None)));
+    }
+
+    #[test]
+    fn disconnect_writes_nothing() {
+        let plan = WireFaultPlan::seeded(1).with_disconnects(1.0);
+        let mut inj = plan.injector(0);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let outcome = inj
+            .write_frame(
+                &mut out,
+                &Frame::Reject(crate::wire::RejectReason::Draining),
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(outcome, WriteOutcome::Dropped);
+        assert!(out.is_empty());
+    }
+}

@@ -214,6 +214,45 @@ fn jsonl_snapshots_capture_broker_lifecycle() {
 }
 
 #[test]
+fn broker_drop_releases_exporter_socket_and_snapshot_writer() {
+    // `drop` must tear the metrics plane down as thoroughly as `shutdown`:
+    // no leaked listener socket, no writer thread appending lines after the
+    // broker is gone.
+    let dir = std::env::temp_dir().join(format!("slab_drop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("snapshots.jsonl");
+
+    let table = Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(32)));
+    let broker = Broker::spawn(Arc::clone(&table), BrokerConfig::default())
+        .with_metrics_addr("127.0.0.1:0")
+        .expect("start exporter")
+        .with_jsonl_snapshots(&path, Duration::from_millis(5))
+        .expect("start snapshots");
+    let addr = broker.metrics_addr().expect("exporter bound");
+    let client = broker.handle();
+    for k in 1..=16u32 {
+        client.put(k, k).expect("put");
+    }
+    assert!(scrape_text(addr).is_ok(), "exporter live before drop");
+    drop(client);
+    drop(broker);
+
+    // The listener socket is released: the exact address rebinds.
+    std::net::TcpListener::bind(addr)
+        .expect("exporter port still held after Broker::drop");
+    // The snapshot writer has stopped: the file gains no further lines.
+    let lines_after_drop = std::fs::read_to_string(&path).expect("snapshots").lines().count();
+    assert!(lines_after_drop >= 1, "snapshots never wrote");
+    std::thread::sleep(Duration::from_millis(40));
+    let lines_later = std::fs::read_to_string(&path).expect("snapshots").lines().count();
+    assert_eq!(
+        lines_after_drop, lines_later,
+        "snapshot writer still appending after Broker::drop"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn exporter_serves_the_overloaded_broker_live() {
     // A shed watermark nothing satisfies: writes shed, breaker trips.
     let table = Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(32)));

@@ -7,11 +7,14 @@
 //! the slow path); nothing panics; and the broker is still serving once the
 //! storm passes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use simt::FaultPlan;
-use slab_alloc::{SerialHeapSim, SlabAlloc, SlabAllocConfig};
+use simt::{FaultPlan, Grid, WarpCtx};
+use slab_alloc::{
+    AllocError, SerialHeapSim, SlabAlloc, SlabAllocConfig, SlabAllocator, SlabRef,
+};
 use slab_hash::{KeyValue, MaintenancePolicy, Request, SlabHash, SlabHashConfig, EMPTY_KEY};
 use slab_ingress::{Broker, BrokerConfig, IngressError};
 
@@ -189,4 +192,193 @@ fn brief_pressure_recovers_to_full_service() {
         "churn past heap capacity should need retries"
     );
     assert_eq!(table.len(), 0);
+}
+
+/// A delegating allocator with a kill switch: once armed, the next
+/// allocation panics. The panic escapes the kernel as a launch error and is
+/// resumed on the broker thread — the deterministic way to kill the broker
+/// itself mid-request (as opposed to a worker dying inside a batch, which
+/// the pool contains).
+struct KillSwitchAlloc {
+    inner: SerialHeapSim,
+    armed: Arc<AtomicBool>,
+}
+
+impl SlabAllocator for KillSwitchAlloc {
+    type WarpState = <SerialHeapSim as SlabAllocator>::WarpState;
+
+    fn new_warp_state(&self) -> Self::WarpState {
+        self.inner.new_warp_state()
+    }
+
+    fn try_allocate(
+        &self,
+        state: &mut Self::WarpState,
+        ctx: &mut WarpCtx,
+    ) -> Result<u32, AllocError> {
+        assert!(
+            !self.armed.load(Ordering::SeqCst),
+            "kill switch: allocator pulled out from under the broker"
+        );
+        self.inner.try_allocate(state, ctx)
+    }
+
+    fn deallocate(&self, ptr: u32, ctx: &mut WarpCtx) {
+        self.inner.deallocate(ptr, ctx)
+    }
+
+    fn resolve(&self, ptr: u32, ctx: &mut WarpCtx) -> SlabRef<'_> {
+        self.inner.resolve(ptr, ctx)
+    }
+
+    fn allocated_slabs(&self) -> u64 {
+        self.inner.allocated_slabs()
+    }
+
+    fn capacity_slabs(&self) -> u64 {
+        self.inner.capacity_slabs()
+    }
+
+    fn try_grow(&self) -> bool {
+        self.inner.try_grow()
+    }
+
+    fn double_frees(&self) -> u64 {
+        self.inner.double_frees()
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        self.inner.metadata_bytes()
+    }
+}
+
+#[test]
+fn broker_death_resolves_every_outstanding_ticket() {
+    let armed = Arc::new(AtomicBool::new(false));
+    // Two buckets so chains grow (and allocate) almost immediately.
+    let table = Arc::new(SlabHash::<KeyValue, _>::with_allocator(
+        SlabHashConfig::with_buckets(2),
+        KillSwitchAlloc {
+            inner: SerialHeapSim::new(4096, EMPTY_KEY),
+            armed: Arc::clone(&armed),
+        },
+    ));
+    let cfg = BrokerConfig {
+        default_deadline: Duration::from_secs(10),
+        ..BrokerConfig::default()
+    };
+    let broker = Broker::spawn(table, cfg);
+    let client = broker.handle();
+
+    // Warm up with the switch disarmed: the broker is healthy.
+    for k in 1..=16u32 {
+        client.call(Request::replace(k, k)).expect("healthy broker");
+    }
+
+    // Arm the switch, then pile on writes that must allocate. The broker
+    // thread dies mid-batch; every outstanding ticket must still resolve —
+    // to a result (landed before the death) or a typed error — never hang.
+    armed.store(true, Ordering::SeqCst);
+    let tickets: Vec<_> = (100..356u32)
+        .map(|k| client.submit(Request::replace(k, k)).expect("queue open"))
+        .collect();
+    let mut resolved_ok = 0u64;
+    let mut resolved_err = 0u64;
+    let mut broker_gone = 0u64;
+    for ticket in tickets {
+        let reply = ticket
+            .wait_deadline(Instant::now() + LATENCY_BOUND)
+            .expect("outstanding ticket hung past the bound after broker death");
+        match reply.result {
+            Ok(_) => resolved_ok += 1,
+            Err(IngressError::BrokerGone) => {
+                broker_gone += 1;
+                resolved_err += 1;
+            }
+            Err(_) => resolved_err += 1,
+        }
+    }
+    assert_eq!(resolved_ok + resolved_err, 256, "every ticket resolves exactly once");
+    assert!(
+        broker_gone > 0,
+        "a dead broker must surface as BrokerGone, not silence"
+    );
+
+    // Later submissions fail fast with the typed error once the channel is
+    // observed closed (the thread's death races the first few attempts).
+    let mut saw_gone = false;
+    for _ in 0..100 {
+        match client.submit(Request::search(1)) {
+            Err(IngressError::BrokerGone) => {
+                saw_gone = true;
+                break;
+            }
+            Ok(ticket) => {
+                // Accepted into a dead queue: the ticket still resolves.
+                let reply = ticket
+                    .wait_deadline(Instant::now() + LATENCY_BOUND)
+                    .expect("post-death ticket hung");
+                assert!(reply.result.is_err());
+            }
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(saw_gone, "submissions to a dead broker never surfaced BrokerGone");
+
+    // `shutdown()` would (correctly) propagate the broker's panic; drop
+    // must absorb it and still release everything without hanging.
+    drop(client);
+    drop(broker);
+}
+
+#[test]
+fn pool_worker_death_mid_load_resolves_all_tickets() {
+    let grid = Grid::new(4);
+    let table = Arc::new(SlabHash::<KeyValue>::new(SlabHashConfig::with_buckets(64)));
+    let cfg = BrokerConfig {
+        grid: Some(grid.clone()),
+        default_deadline: Duration::from_secs(10),
+        ..BrokerConfig::default()
+    };
+    let broker = Broker::spawn(table, cfg);
+
+    let total = 4000u32;
+    let client = broker.handle();
+    let load = std::thread::spawn(move || {
+        let mut tickets = Vec::new();
+        for k in 0..total {
+            tickets.push(
+                client
+                    .submit_blocking(Request::replace(k, k), Duration::from_secs(10))
+                    .expect("submission under pool death"),
+            );
+        }
+        let mut ok = 0u64;
+        for ticket in tickets {
+            let reply = ticket
+                .wait_deadline(Instant::now() + LATENCY_BOUND)
+                .expect("ticket hung after pool-worker death");
+            if reply.result.is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    });
+    // Kill workers in two waves mid-load: first some, then all. The pool
+    // degrades to launcher-only execution; requests keep completing.
+    std::thread::sleep(Duration::from_millis(5));
+    grid.debug_kill_pool_workers(2);
+    std::thread::sleep(Duration::from_millis(5));
+    grid.debug_kill_pool_workers(usize::MAX);
+    let ok = load.join().expect("load thread panicked");
+    assert_eq!(ok, u64::from(total), "pool death must not fail or lose requests");
+
+    // The broker itself survived: a fresh probe round-trips and shutdown is
+    // clean.
+    let probe = broker.handle();
+    assert!(probe.get(1).is_ok(), "broker dead after pool-worker deaths");
+    drop(probe);
+    let stats = broker.shutdown();
+    assert_eq!(stats.completed, u64::from(total) + 1);
 }
