@@ -27,6 +27,11 @@ pub struct SlabHashConfig {
     /// failing with [`TableError::RetryBudgetExhausted`](crate::TableError).
     /// Defaults to [`RETRY_BUDGET`](crate::ops::RETRY_BUDGET).
     pub retry_budget: u32,
+    /// Whether the table maintains the per-slab fingerprint tag vector and
+    /// routes SEARCH / DELETE through the tag-filtered fast path (one 32 B
+    /// tag read instead of a 128 B slab read per chain hop; see DESIGN.md
+    /// §16). Defaults to `true`; disable for the no-tag ablation.
+    pub use_tags: bool,
 }
 
 impl SlabHashConfig {
@@ -36,7 +41,16 @@ impl SlabHashConfig {
             num_buckets,
             seed: 0x5eed_cafe,
             retry_budget: crate::ops::RETRY_BUDGET,
+            use_tags: true,
         }
+    }
+
+    /// Enables or disables the fingerprint tag vector (see
+    /// [`use_tags`](Self::use_tags)). The no-tag ablation of fig4/fig7 and
+    /// the transaction-count tests build tables with `with_tags(false)`.
+    pub fn with_tags(mut self, use_tags: bool) -> Self {
+        self.use_tags = use_tags;
+        self
     }
 
     /// Overrides the per-operation CAS retry budget (see
@@ -113,6 +127,7 @@ pub struct SlabHash<L: EntryLayout, A: SlabAllocator = SlabAlloc> {
     alloc: A,
     hash: UniversalHash,
     retry_budget: u32,
+    use_tags: bool,
     pub(crate) maint: crate::maintenance::MaintenanceState,
     _layout: PhantomData<fn() -> L>,
 }
@@ -144,11 +159,26 @@ impl<L: EntryLayout> SlabHash<L, SlabAlloc> {
     /// A table sized so that inserting `n` elements lands at
     /// `target_utilization` (paper §VI-A's sweep methodology).
     pub fn for_expected_elements(n: usize, target_utilization: f64, seed: u64) -> Self {
+        Self::for_expected_elements_with_tags(n, target_utilization, seed, true)
+    }
+
+    /// [`Self::for_expected_elements`] with the fingerprint-tag filter
+    /// toggled explicitly — the ablation constructor the experiment
+    /// binaries use for their `--no-tags` runs.
+    pub fn for_expected_elements_with_tags(
+        n: usize,
+        target_utilization: f64,
+        seed: u64,
+        use_tags: bool,
+    ) -> Self {
         let num_buckets = buckets_for_utilization::<L>(n, target_utilization);
-        Self::new(SlabHashConfig {
-            seed,
-            ..SlabHashConfig::with_buckets(num_buckets)
-        })
+        Self::new(
+            SlabHashConfig {
+                seed,
+                ..SlabHashConfig::with_buckets(num_buckets)
+            }
+            .with_tags(use_tags),
+        )
     }
 }
 
@@ -162,9 +192,17 @@ impl<L: EntryLayout, A: SlabAllocator> SlabHash<L, A> {
             alloc,
             hash: UniversalHash::new(config.seed, config.num_buckets),
             retry_budget: config.retry_budget,
+            use_tags: config.use_tags,
             maint: crate::maintenance::MaintenanceState::new(),
             _layout: PhantomData,
         }
+    }
+
+    /// Whether this table maintains (and filters through) the per-slab
+    /// fingerprint tag vector (see [`SlabHashConfig::use_tags`]).
+    #[inline]
+    pub fn tags_enabled(&self) -> bool {
+        self.use_tags
     }
 
     /// The per-operation CAS retry budget this table was built with.

@@ -325,7 +325,7 @@ impl SlabAllocator for SlabAlloc {
                 self.acquire_resident(state, ctx);
             }
             // All lanes inspect their cached word; ballot who has free units.
-            let free_lanes = ballot(&state.cached, |&w| w != u32::MAX);
+            let free_lanes = ballot(&state.cached, |w| w != u32::MAX);
             let Some(lane) = ffs(free_lanes) else {
                 // Resident block (as cached) is full: resident change.
                 state.valid = false;

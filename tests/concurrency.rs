@@ -37,7 +37,8 @@ fn racing_replaces_of_one_key_keep_uniqueness() {
     let mut warp = WarpDriver::new(&table);
     let v = warp.search(42).expect("key present");
     assert!(v < 512);
-    table.audit().unwrap();
+    let audit = table.audit().unwrap();
+    assert!(audit.tags_consistent(), "racing replaces corrupted tags: {audit:?}");
 }
 
 #[test]
@@ -51,6 +52,10 @@ fn racing_inserts_into_one_bucket_lose_nothing() {
     // Allocate/link races must deallocate loser slabs: no leaks.
     let audit = table.audit().unwrap();
     assert!(audit.no_leaks(), "leaked slabs: {audit:?}");
+    // Contended claims escalate tags at worst to WILD — never to a value
+    // that would hide a live key from the tag-scan fast path.
+    assert_eq!(audit.tag_lanes_checked, 2_000);
+    assert!(audit.tags_consistent(), "racing claims corrupted tags: {audit:?}");
     // Everything findable.
     let (found, _) = table.bulk_search(&(0..2_000).collect::<Vec<_>>(), &grid);
     for (k, v) in found.iter().enumerate() {
@@ -131,6 +136,9 @@ fn concurrent_inserts_reusing_tombstones_never_lose_elements() {
     assert_eq!(table.len(), 50 + 200);
     let audit = table.audit().unwrap();
     assert!(audit.no_leaks());
+    // Tombstone reuse overwrites the lane with a new key; its tag must be
+    // republished (or already WILD) before the key lands.
+    assert!(audit.tags_consistent(), "tombstone reuse corrupted tags: {audit:?}");
     // No tombstone may have been claimed twice: every inserted key is
     // findable exactly once.
     let mut warp = WarpDriver::new(&table);
@@ -176,5 +184,7 @@ fn mixed_workload_conservation_under_chaos() {
     }
     table.execute_batch(&mut reqs, &grid);
     assert_eq!(table.len(), 500 + 400 - 300);
-    table.audit().unwrap();
+    let audit = table.audit().unwrap();
+    assert_eq!(audit.tag_lanes_checked, 600);
+    assert!(audit.tags_consistent(), "chaos mix corrupted tags: {audit:?}");
 }

@@ -114,6 +114,14 @@ fn churn_soak_on_undersized_allocator() {
     assert_eq!(audit.frozen_lanes, 0, "a frozen lane leaked past unfreeze");
     assert_eq!(audit.double_frees, 0);
     assert!(audit.no_leaks(), "slab accounting imbalance: {audit:?}");
+    // 120 cycles of churn + flush rebuilds must keep every live lane's
+    // fingerprint tag covering its key (false negatives lose keys).
+    assert!(audit.tag_lanes_checked >= pinned.len() as u64);
+    assert!(
+        audit.tags_consistent(),
+        "soak left {} stale tags: {audit:?}",
+        audit.tag_mismatches
+    );
 }
 
 /// Acceptance: concurrent compaction races live inserts and searches and
@@ -212,6 +220,10 @@ fn concurrent_compaction_races_live_traffic() {
     let audit = t.audit().unwrap();
     assert_eq!(audit.frozen_lanes, 0);
     assert!(audit.no_leaks(), "race leaked a slab: {audit:?}");
+    // Racing freeze/unlink/rebuild must never leave a live key whose tag
+    // would filter it out of the tag-scan fast path.
+    assert!(audit.tag_lanes_checked > 0, "audit saw no live tagged lanes");
+    assert!(audit.tags_consistent(), "compaction race corrupted tags: {audit:?}");
 }
 
 /// Satellite: a fault plan makes `try_flush` fail mid-retire; the error is
@@ -255,6 +267,7 @@ fn try_flush_under_faults_fails_clean_and_retries() {
     let audit = t.audit().unwrap();
     assert_eq!(audit.live_elements, 0);
     assert!(audit.no_leaks());
+    assert!(audit.tags_consistent(), "failed+retried flush corrupted tags");
 }
 
 /// Satellite: chaos-grid churn — yields, spurious CAS losses, and injected
@@ -304,6 +317,9 @@ fn chaos_churn_heals_under_fault_plan() {
     let audit = t.audit().unwrap();
     assert_eq!(audit.frozen_lanes, 0);
     assert!(audit.no_leaks(), "chaos churn leaked: {audit:?}");
+    // Injected CAS losses force claim retries across lanes; every retried
+    // publish must still leave a covering tag (fp or WILD) on live keys.
+    assert!(audit.tags_consistent(), "chaos churn corrupted tags: {audit:?}");
 }
 
 /// Satellite: the release-build double-free detector is surfaced end to end
